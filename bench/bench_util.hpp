@@ -1,0 +1,50 @@
+#pragma once
+// Shared table-rendering and statistics helpers for the bench binaries.
+// Every table/figure bench prints (a) a header identifying the paper
+// claim it regenerates, (b) aligned rows, and (c) a PASS/FAIL verdict on
+// the claim's *shape* — EXPERIMENTS.md records the output verbatim.
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace bla::bench {
+
+inline void header(const std::string& id, const std::string& claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", id.c_str());
+  std::printf("paper claim: %s\n", claim.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+inline void verdict(bool ok, const std::string& what) {
+  std::printf("---------------------------------------------------------------\n");
+  std::printf("[%s] %s\n", ok ? "PASS" : "FAIL", what.c_str());
+}
+
+struct Stats {
+  double min = 0, max = 0, mean = 0;
+};
+
+inline Stats stats(const std::vector<double>& xs) {
+  Stats s;
+  if (xs.empty()) return s;
+  s.min = *std::min_element(xs.begin(), xs.end());
+  s.max = *std::max_element(xs.begin(), xs.end());
+  s.mean = std::accumulate(xs.begin(), xs.end(), 0.0) /
+           static_cast<double>(xs.size());
+  return s;
+}
+
+}  // namespace bla::bench

@@ -1,0 +1,77 @@
+// M1 — google-benchmark micro benches for the crypto substrate: hashing,
+// MACs, Ed25519 sign/verify. These quantify the per-message cost floor
+// of the §8 signature-based protocols.
+
+#include <benchmark/benchmark.h>
+
+#include "crypto/ed25519.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/sha512.hpp"
+#include "crypto/signer.hpp"
+
+namespace {
+
+using namespace bla;
+
+void BM_Sha256(benchmark::State& state) {
+  const wire::Bytes data(static_cast<std::size_t>(state.range(0)), 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_Sha512(benchmark::State& state) {
+  const wire::Bytes data(static_cast<std::size_t>(state.range(0)), 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha512::hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha512)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_HmacSha256(benchmark::State& state) {
+  const wire::Bytes key(32, 0x11);
+  const wire::Bytes data(static_cast<std::size_t>(state.range(0)), 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::hmac_sha256(key, data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Arg(64)->Arg(1024);
+
+void BM_Ed25519Sign(benchmark::State& state) {
+  const auto kp = crypto::ed25519::keypair_from_label(1);
+  const wire::Bytes msg(256, 0x42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::ed25519::sign(kp, msg));
+  }
+}
+BENCHMARK(BM_Ed25519Sign);
+
+void BM_Ed25519Verify(benchmark::State& state) {
+  const auto kp = crypto::ed25519::keypair_from_label(1);
+  const wire::Bytes msg(256, 0x42);
+  const auto sig = crypto::ed25519::sign(kp, msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::ed25519::verify(kp.public_key, msg, sig));
+  }
+}
+BENCHMARK(BM_Ed25519Verify);
+
+void BM_SignerSign(benchmark::State& state) {
+  auto set = state.range(0) == 0 ? crypto::make_hmac_signer_set(4)
+                                 : crypto::make_ed25519_signer_set(4);
+  auto signer = set->signer_for(0);
+  const wire::Bytes msg(256, 0x42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(signer->sign(msg));
+  }
+}
+BENCHMARK(BM_SignerSign)->Arg(0)->Arg(1);  // 0 = HMAC oracle, 1 = Ed25519
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+// M2 — google-benchmark micro benches for the lattice substrate: the
+// join/leq operations every protocol message handler performs, plus the
+// canonical set codec that SbS signs.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "lattice/crdt.hpp"
+#include "lattice/set_lattice.hpp"
+#include "lattice/value.hpp"
+
+namespace {
+
+using namespace bla;
+
+lattice::ValueSet make_set(std::size_t size, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  lattice::ValueSet out;
+  for (std::size_t i = 0; i < size; ++i) {
+    wire::Encoder enc;
+    enc.u64(rng());
+    out.insert(enc.take());
+  }
+  return out;
+}
+
+void BM_ValueSetMerge(benchmark::State& state) {
+  const auto a = make_set(static_cast<std::size_t>(state.range(0)), 1);
+  const auto b = make_set(static_cast<std::size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    auto c = a;
+    c.merge(b);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_ValueSetMerge)->Arg(8)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_ValueSetLeq(benchmark::State& state) {
+  auto a = make_set(static_cast<std::size_t>(state.range(0)), 1);
+  auto b = a;
+  b.merge(make_set(8, 2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.leq(b));
+  }
+}
+BENCHMARK(BM_ValueSetLeq)->Arg(8)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_ValueSetEncode(benchmark::State& state) {
+  const auto a = make_set(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    wire::Encoder enc;
+    lattice::encode_value_set(enc, a);
+    benchmark::DoNotOptimize(enc.view());
+  }
+}
+BENCHMARK(BM_ValueSetEncode)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_ValueSetDecode(benchmark::State& state) {
+  const auto a = make_set(static_cast<std::size_t>(state.range(0)), 1);
+  wire::Encoder enc;
+  lattice::encode_value_set(enc, a);
+  for (auto _ : state) {
+    wire::Decoder dec(enc.view());
+    benchmark::DoNotOptimize(lattice::decode_value_set(dec));
+  }
+}
+BENCHMARK(BM_ValueSetDecode)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_GCounterMerge(benchmark::State& state) {
+  lattice::GCounter a, b;
+  for (std::uint32_t node = 0; node < state.range(0); ++node) {
+    a.increment(node, node + 1);
+    b.increment(node, 2 * node + 1);
+  }
+  for (auto _ : state) {
+    auto c = a;
+    c.merge(b);
+    benchmark::DoNotOptimize(c.value());
+  }
+}
+BENCHMARK(BM_GCounterMerge)->Arg(4)->Arg(32)->Arg(256);
+
+void BM_VersionVectorLeq(benchmark::State& state) {
+  lattice::VersionVector a, b;
+  for (std::uint32_t node = 0; node < state.range(0); ++node) {
+    a.set(node, node);
+    b.set(node, node + 1);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.leq(b));
+  }
+}
+BENCHMARK(BM_VersionVectorLeq)->Arg(4)->Arg(32)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

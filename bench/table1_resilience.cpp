@@ -1,0 +1,111 @@
+// T1 — Theorem 1: Byzantine LA requires n ≥ 3f+1.
+//
+// Three panels:
+//  (a) n = 3f+1: WTS is safe AND live across f and adversaries;
+//  (b) n = 3f:   WTS loses liveness (quorum unreachable) but never safety;
+//  (c) n = 3f with majority quorums (crash-only baseline) under the
+//      Theorem 1 split schedule: liveness kept, Comparability broken.
+
+#include "bench_util.hpp"
+#include "core/adversary.hpp"
+#include "core/baseline.hpp"
+#include "net/delay_model.hpp"
+#include "testutil/properties.hpp"
+#include "testutil/scenario.hpp"
+
+using namespace bla;
+
+int main() {
+  bench::header("T1 / Theorem 1 — necessity of n >= 3f+1",
+                "no algorithm solves Byzantine LA with n <= 3f; WTS achieves "
+                "it at n = 3f+1");
+
+  bool all_ok = true;
+
+  bench::row("%-28s %4s %4s %8s %8s %12s", "panel", "n", "f", "decided",
+             "safe", "seeds");
+  // (a) n = 3f+1.
+  for (std::size_t f = 1; f <= 4; ++f) {
+    const std::size_t n = 3 * f + 1;
+    std::size_t live = 0, safe = 0, runs = 0;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      testutil::ScenarioOptions options;
+      options.n = n;
+      options.f = f;
+      options.seed = seed;
+      options.adversary = [&](net::NodeId id) -> std::unique_ptr<net::IProcess> {
+        if (id % 2 == 0) return std::make_unique<core::PromiscuousAcker>();
+        return std::make_unique<core::UnsafeNackSpammer>();
+      };
+      testutil::WtsScenario scenario(std::move(options));
+      scenario.run();
+      ++runs;
+      if (scenario.all_correct_decided()) ++live;
+      if (testutil::check_comparability(scenario.decisions()).empty()) ++safe;
+    }
+    bench::row("%-28s %4zu %4zu %7zu/ %7zu/ %9zu", "WTS @ n=3f+1", n, f, live,
+               safe, runs);
+    all_ok = all_ok && live == runs && safe == runs;
+  }
+
+  // (b) n = 3f: WTS stalls but stays safe.
+  for (std::size_t f = 1; f <= 3; ++f) {
+    const std::size_t n = 3 * f;
+    std::size_t live = 0, safe = 0, runs = 0;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      testutil::ScenarioOptions options;
+      options.n = n;
+      options.f = f;
+      options.seed = seed;
+      testutil::WtsScenario scenario(std::move(options));
+      scenario.run();
+      ++runs;
+      if (scenario.all_correct_decided()) ++live;
+      if (testutil::check_comparability(scenario.decisions()).empty()) ++safe;
+    }
+    bench::row("%-28s %4zu %4zu %7zu/ %7zu/ %9zu", "WTS @ n=3f (stalls)", n, f,
+               live, safe, runs);
+    all_ok = all_ok && live == 0 && safe == runs;
+  }
+
+  // (c) majority-quorum baseline at n = 3 under the split schedule.
+  {
+    std::size_t live = 0, violated = 0, runs = 0;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      net::SimNetwork net(
+          {.seed = seed,
+           .delay = std::make_unique<net::TargetedDelay>(
+               std::make_unique<net::ConstantDelay>(1.0),
+               [](net::NodeId from, net::NodeId to) {
+                 return (from == 0 && to == 1) || (from == 1 && to == 0);
+               },
+               200.0)});
+      auto* p0 =
+          new core::BaselineLaProcess({0, 3}, lattice::value_from("x0"));
+      auto* p1 =
+          new core::BaselineLaProcess({1, 3}, lattice::value_from("x1"));
+      net.add_process(std::unique_ptr<net::IProcess>(p0));
+      net.add_process(std::unique_ptr<net::IProcess>(p1));
+      net.add_process(std::make_unique<core::PromiscuousAcker>());
+      net.run(UINT64_MAX, [&] { return net.now() > 100.0; });
+      ++runs;
+      if (p0->has_decided() && p1->has_decided()) {
+        ++live;
+        if (!testutil::check_comparability({p0->decision(), p1->decision()})
+                 .empty()) {
+          ++violated;
+        }
+      }
+    }
+    bench::row("%-28s %4d %4d %7zu/ %8s %9zu", "majority quorum @ n=3f", 3, 1,
+               live, "BROKEN", runs);
+    all_ok = all_ok && live == runs && violated == runs;
+    bench::row("  -> comparability violated in %zu/%zu split-schedule runs",
+               violated, runs);
+  }
+
+  bench::verdict(all_ok,
+                 "3f+1 suffices (safe+live); 3f forces choosing: WTS keeps "
+                 "safety and stalls, majority quorums stay live and split");
+  return all_ok ? 0 : 1;
+}

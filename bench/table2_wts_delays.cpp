@@ -1,0 +1,93 @@
+// T2 — Theorem 3: every correct WTS proposer decides within 2f+5 message
+// delays. Unit-delay network makes simulated time == message delays, so
+// the bound is checked exactly, across f, seeds, and adversary mixes.
+
+#include "bench_util.hpp"
+#include "core/adversary.hpp"
+#include "core/wts.hpp"
+#include "testutil/scenario.hpp"
+
+using namespace bla;
+
+namespace {
+
+testutil::AdversaryFactory adversary_mix(int which, std::size_t n,
+                                         std::size_t f) {
+  switch (which) {
+    case 0:
+      return nullptr;  // silent
+    case 1:
+      return [n](net::NodeId id) -> std::unique_ptr<net::IProcess> {
+        wire::Encoder a, b;
+        a.str("eA");
+        a.u32(id);
+        b.str("eB");
+        b.u32(id);
+        return std::make_unique<core::EquivocatingDiscloser>(n, a.take(),
+                                                             b.take());
+      };
+    default:
+      return [n, f](net::NodeId id) -> std::unique_ptr<net::IProcess> {
+        if (id % 2 == 0) return std::make_unique<core::UnsafeNackSpammer>();
+        return std::make_unique<core::CrashAfter>(
+            std::make_unique<core::WtsProcess>(
+                core::WtsConfig{id, n, f}, testutil::proposal_value(id)),
+            7);
+      };
+  }
+}
+
+const char* mix_name(int which) {
+  switch (which) {
+    case 0: return "silent";
+    case 1: return "equivocate";
+    default: return "nack+crash";
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::header("T2 / Theorem 3 — WTS decides within 2f+5 message delays",
+                "worst-case correct-proposer decision latency <= 2f+5");
+
+  bool all_ok = true;
+  bench::row("%4s %4s %-12s %10s %10s %10s %8s", "n", "f", "adversary",
+             "worst", "mean", "bound", "ok");
+
+  for (std::size_t f = 0; f <= 6; ++f) {
+    const std::size_t n = 3 * f + 1;
+    for (int mix = 0; mix < (f == 0 ? 1 : 3); ++mix) {
+      std::vector<double> worsts;
+      std::vector<double> means;
+      for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        testutil::ScenarioOptions options;
+        options.n = n;
+        options.f = f;
+        options.seed = seed;
+        options.adversary = adversary_mix(mix, n, f);
+        testutil::WtsScenario scenario(std::move(options));
+        scenario.run();
+        if (!scenario.all_correct_decided()) {
+          all_ok = false;
+          continue;
+        }
+        double total = 0;
+        for (const auto* p : scenario.correct()) total += p->decide_time();
+        worsts.push_back(scenario.max_decide_time());
+        means.push_back(total / static_cast<double>(scenario.correct().size()));
+      }
+      const auto w = bench::stats(worsts);
+      const auto m = bench::stats(means);
+      const double bound = static_cast<double>(2 * f + 5);
+      const bool ok = w.max <= bound + 1e-9;
+      all_ok = all_ok && ok;
+      bench::row("%4zu %4zu %-12s %10.1f %10.2f %10.0f %8s", n, f,
+                 mix_name(mix), w.max, m.mean, bound, ok ? "yes" : "NO");
+    }
+  }
+
+  bench::verdict(all_ok, "measured worst-case <= 2f+5 for every (n, f, "
+                         "adversary, seed) combination");
+  return all_ok ? 0 : 1;
+}

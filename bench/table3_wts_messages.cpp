@@ -1,0 +1,62 @@
+// T3 — §5.1.3: WTS message complexity is O(n²) per process, dominated by
+// the Byzantine reliable broadcast of the disclosure phase. We sweep n,
+// count messages sent per process, and fit the n² ratio; the crash-only
+// baseline is printed alongside to quantify the Byzantine premium.
+
+#include "bench_util.hpp"
+#include "core/baseline.hpp"
+#include "testutil/scenario.hpp"
+
+using namespace bla;
+
+int main() {
+  bench::header("T3 / §5.1.3 — WTS message complexity O(n^2) per process",
+                "per-process message count grows quadratically in n; the "
+                "RBC disclosure dominates");
+
+  bool all_ok = true;
+  bench::row("%4s %4s %12s %12s %10s %14s", "n", "f", "wts msgs/proc",
+             "msgs/n^2", "baseline", "byz premium");
+
+  std::vector<double> ratios;
+  for (const std::size_t n : {4u, 7u, 10u, 13u, 19u, 25u, 31u, 43u, 61u}) {
+    const std::size_t f = (n - 1) / 3;
+
+    testutil::ScenarioOptions options;
+    options.n = n;
+    options.f = f;
+    testutil::WtsScenario scenario(std::move(options));
+    scenario.run();
+    if (!scenario.all_correct_decided()) all_ok = false;
+    const double per_proc =
+        static_cast<double>(scenario.network().total_messages()) /
+        static_cast<double>(n);
+    const double ratio = per_proc / static_cast<double>(n * n);
+    ratios.push_back(ratio);
+
+    // Crash-only baseline, same n, nobody faulty.
+    net::SimNetwork base({.seed = 1, .delay = nullptr});
+    for (net::NodeId id = 0; id < n; ++id) {
+      base.add_process(std::make_unique<core::BaselineLaProcess>(
+          core::BaselineConfig{id, n}, testutil::proposal_value(id)));
+    }
+    base.run();
+    const double base_per_proc =
+        static_cast<double>(base.total_messages()) / static_cast<double>(n);
+
+    bench::row("%4zu %4zu %12.0f %12.3f %10.0f %13.1fx", n, f, per_proc,
+               ratio, base_per_proc, per_proc / base_per_proc);
+  }
+
+  // The n² fit: ratios should stabilize (bounded, non-exploding).
+  const auto r = bench::stats(ratios);
+  const bool quadratic_fit = r.max / r.min < 4.0;  // constant within 4x
+  all_ok = all_ok && quadratic_fit;
+  bench::row("msgs/proc / n^2 ratio: min %.3f  max %.3f  (stable => O(n^2))",
+             r.min, r.max);
+
+  bench::verdict(all_ok,
+                 "per-process messages scale as c*n^2 with stable c; "
+                 "baseline is O(n) per process, so the premium grows ~n");
+  return all_ok ? 0 : 1;
+}

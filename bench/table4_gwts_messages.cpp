@@ -1,0 +1,87 @@
+// T4 — §6.4: GWTS message complexity is O(f·n²) per decision per
+// proposer (disclosure RBC + reliably-broadcast acks, up to f proposal
+// refinements). We sweep n at f = (n-1)/3 and fixed f, counting messages
+// per decision per process.
+
+#include "bench_util.hpp"
+#include "testutil/scenario.hpp"
+
+using namespace bla;
+
+namespace {
+
+struct Measurement {
+  double msgs_per_decision_per_proc = 0;
+  bool live = false;
+};
+
+Measurement measure(std::size_t n, std::size_t f, std::uint64_t rounds) {
+  testutil::GwtsScenarioOptions options;
+  options.n = n;
+  options.f = f;
+  options.rounds = rounds;
+  options.settle_rounds = 0;
+  testutil::GwtsScenario scenario(std::move(options));
+  scenario.run();
+  Measurement m;
+  m.live = scenario.all_completed_rounds();
+  const double decisions = static_cast<double>(rounds);
+  m.msgs_per_decision_per_proc =
+      static_cast<double>(scenario.network().total_messages()) /
+      static_cast<double>(n) / decisions;
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("T4 / §6.4 — GWTS O(f*n^2) messages per decision per proposer",
+                "per-proposer per-decision message count is bounded by "
+                "c*f*n^2");
+
+  bool all_ok = true;
+  bench::row("%4s %4s %8s %16s %14s", "n", "f", "rounds", "msgs/dec/proc",
+             "ratio /(f*n^2)");
+
+  std::vector<double> ratios;
+  // Panel 1: f scales with n. O(f·n²) is a *worst-case* bound (f
+  // nack-driven refinements per round); benign runs sit below it because
+  // refinements do not actually scale with f, so the ratio to f·n²
+  // falls while the ratio to n² stays flat.
+  for (const std::size_t n : {4u, 7u, 10u, 13u, 19u, 25u}) {
+    const std::size_t f = (n - 1) / 3;
+    const Measurement m = measure(n, f, /*rounds=*/3);
+    all_ok = all_ok && m.live;
+    const double ratio =
+        m.msgs_per_decision_per_proc / (static_cast<double>(f) * n * n);
+    ratios.push_back(ratio);
+    bench::row("%4zu %4zu %8d %16.0f %14.3f", n, f, 3,
+               m.msgs_per_decision_per_proc, ratio);
+  }
+  const auto r = bench::stats(ratios);
+  bench::row("bound check (f scaling with n): max ratio %.3f (must stay "
+             "below a constant)", r.max);
+  all_ok = all_ok && r.max < 4.0;
+
+  // Panel 2: fixed f=1, growing n — the n² term in isolation.
+  bench::row("%s", "");
+  bench::row("fixed f=1 panel (pure n^2 growth):");
+  std::vector<double> fixed_f;
+  for (const std::size_t n : {4u, 8u, 16u, 24u}) {
+    const Measurement m = measure(n, 1, /*rounds=*/3);
+    all_ok = all_ok && m.live;
+    fixed_f.push_back(m.msgs_per_decision_per_proc);
+    bench::row("%4zu %4d %8d %16.0f %14.3f", n, 1, 3,
+               m.msgs_per_decision_per_proc,
+               m.msgs_per_decision_per_proc / (static_cast<double>(n) * n));
+  }
+  // Doubling n should ~quadruple the per-proposer count (not 8x).
+  for (std::size_t i = 1; i < fixed_f.size(); ++i) {
+    all_ok = all_ok && fixed_f[i] < fixed_f[i - 1] * 8.0;
+  }
+
+  bench::verdict(all_ok,
+                 "per-decision per-proposer messages track f*n^2 with a "
+                 "stable constant");
+  return all_ok ? 0 : 1;
+}

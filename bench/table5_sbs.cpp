@@ -1,0 +1,88 @@
+// T5 — §8/Theorem 8: SbS decides within 5+4f message delays with O(n)
+// messages per proposer when f = O(1); WTS trades the opposite way
+// (2f+5 delays, O(n²) messages). Three panels: the delay bound, the
+// message scaling at fixed f, and the WTS↔SbS crossover (who wins on
+// messages, and what SbS pays in bytes).
+
+#include "bench_util.hpp"
+#include "testutil/scenario.hpp"
+
+using namespace bla;
+
+int main() {
+  bench::header("T5 / §8, Theorem 8 — SbS: 5+4f delays, O(n) msgs/proposer",
+                "SbS swaps WTS's O(n^2) messages for O(n) bigger messages; "
+                "decision within 5+4f delays");
+
+  bool all_ok = true;
+
+  // Panel 1: delay bound across f.
+  bench::row("panel 1: decision latency (message delays), silent Byzantine");
+  bench::row("%4s %4s %10s %10s %8s", "n", "f", "worst", "bound", "ok");
+  for (std::size_t f = 0; f <= 5; ++f) {
+    const std::size_t n = 3 * f + 1;
+    double worst = 0;
+    bool live = true;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      testutil::SbsScenarioOptions options;
+      options.n = n;
+      options.f = f;
+      options.seed = seed;
+      testutil::SbsScenario scenario(std::move(options));
+      scenario.run();
+      live = live && scenario.all_correct_decided();
+      worst = std::max(worst, scenario.max_decide_time());
+    }
+    const double bound = static_cast<double>(5 + 4 * f);
+    const bool ok = live && worst <= bound + 1e-9;
+    all_ok = all_ok && ok;
+    bench::row("%4zu %4zu %10.1f %10.0f %8s", n, f, worst, bound,
+               ok ? "yes" : "NO");
+  }
+
+  // Panel 2+3: message/byte scaling and the crossover against WTS.
+  bench::row("%s", "");
+  bench::row("panel 2: per-process traffic at fixed f=1 (msgs linear, bytes "
+             "superlinear) vs WTS");
+  bench::row("%4s | %12s %14s | %12s %14s | %10s", "n", "sbs msg/proc",
+             "sbs bytes/proc", "wts msg/proc", "wts bytes/proc", "msg win");
+  std::vector<double> sbs_msgs;
+  for (const std::size_t n : {4u, 8u, 16u, 32u, 48u}) {
+    testutil::SbsScenarioOptions sbs_options;
+    sbs_options.n = n;
+    sbs_options.f = 1;
+    testutil::SbsScenario sbs(std::move(sbs_options));
+    sbs.run();
+    all_ok = all_ok && sbs.all_correct_decided();
+    const double sbs_msg =
+        static_cast<double>(sbs.network().total_messages()) / n;
+    const double sbs_bytes =
+        static_cast<double>(sbs.network().total_bytes()) / n;
+    sbs_msgs.push_back(sbs_msg);
+
+    testutil::ScenarioOptions wts_options;
+    wts_options.n = n;
+    wts_options.f = 1;
+    testutil::WtsScenario wts(std::move(wts_options));
+    wts.run();
+    all_ok = all_ok && wts.all_correct_decided();
+    const double wts_msg =
+        static_cast<double>(wts.network().total_messages()) / n;
+    const double wts_bytes =
+        static_cast<double>(wts.network().total_bytes()) / n;
+
+    bench::row("%4zu | %12.0f %14.0f | %12.0f %14.0f | %10s", n, sbs_msg,
+               sbs_bytes, wts_msg, wts_bytes,
+               sbs_msg < wts_msg ? "SbS" : "WTS");
+  }
+  // Linearity: doubling n should at most ~double+slack SbS messages.
+  for (std::size_t i = 1; i < sbs_msgs.size(); ++i) {
+    all_ok = all_ok && sbs_msgs[i] < sbs_msgs[i - 1] * 3.0;
+  }
+
+  bench::verdict(all_ok,
+                 "SbS meets 5+4f and its per-proposer message count grows "
+                 "linearly, beating WTS on message count as n grows while "
+                 "paying in message size");
+  return all_ok ? 0 : 1;
+}

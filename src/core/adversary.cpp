@@ -1,0 +1,209 @@
+#include "core/adversary.hpp"
+
+#include "lattice/value.hpp"
+#include "rbc/bracha.hpp"
+
+namespace bla::core {
+
+namespace {
+
+wire::Bytes rbc_frame(rbc::MsgType type, NodeId origin, std::uint64_t tag,
+                      wire::BytesView payload, bool with_origin) {
+  wire::Encoder enc;
+  enc.u8(static_cast<std::uint8_t>(type));
+  if (with_origin) enc.u32(origin);
+  enc.u64(tag);
+  enc.bytes(payload);
+  return enc.take();
+}
+
+wire::Bytes disclosure_payload(const Value& v) {
+  wire::Encoder enc;
+  enc.u8(static_cast<std::uint8_t>(MsgType::kDisclosure));
+  lattice::encode_value(enc, v);
+  return enc.take();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// EquivocatingDiscloser.
+// ---------------------------------------------------------------------------
+
+void EquivocatingDiscloser::on_start(net::IContext& ctx) {
+  const wire::Bytes pa = disclosure_payload(value_a_);
+  const wire::Bytes pb = disclosure_payload(value_b_);
+  // Split-brain SEND: half the system sees A, half sees B...
+  for (NodeId to = 0; to < n_; ++to) {
+    const wire::Bytes& payload = (to < n_ / 2) ? pa : pb;
+    ctx.send(to, rbc_frame(rbc::MsgType::kSend, ctx.self(), 0, payload,
+                           /*with_origin=*/false));
+  }
+  // ...and we shamelessly ECHO and READY both, trying to push each half
+  // over its thresholds.
+  for (NodeId to = 0; to < n_; ++to) {
+    const wire::Bytes& payload = (to < n_ / 2) ? pa : pb;
+    ctx.send(to, rbc_frame(rbc::MsgType::kEcho, ctx.self(), 0, payload,
+                           /*with_origin=*/true));
+    ctx.send(to, rbc_frame(rbc::MsgType::kReady, ctx.self(), 0, payload,
+                           /*with_origin=*/true));
+  }
+}
+
+void EquivocatingDiscloser::on_message(net::IContext& ctx, NodeId from,
+                                       wire::BytesView payload) {
+  // Ack any ack request (blind), to look like a live acceptor.
+  try {
+    wire::Decoder dec(payload);
+    if (static_cast<MsgType>(dec.u8()) != MsgType::kAckReq) return;
+    ValueSet set = lattice::decode_value_set(dec);
+    const std::uint64_t ts = dec.u64();
+    wire::Encoder enc;
+    enc.u8(static_cast<std::uint8_t>(MsgType::kAck));
+    lattice::encode_value_set(enc, set);
+    enc.u64(ts);
+    ctx.send(from, enc.take());
+  } catch (const wire::WireError&) {
+  }
+}
+
+// ---------------------------------------------------------------------------
+// UnsafeNackSpammer.
+// ---------------------------------------------------------------------------
+
+void UnsafeNackSpammer::on_message(net::IContext& ctx, NodeId from,
+                                   wire::BytesView payload) {
+  try {
+    wire::Decoder dec(payload);
+    if (static_cast<MsgType>(dec.u8()) != MsgType::kAckReq) return;
+    (void)lattice::decode_value_set(dec);
+    const std::uint64_t ts = dec.u64();
+
+    // Nack with a fabricated value nobody disclosed: never SAFE anywhere.
+    ValueSet poison;
+    wire::Encoder fake;
+    fake.str("poison");
+    fake.u64(counter_++);
+    fake.u32(ctx.self());
+    poison.insert(fake.take());
+
+    wire::Encoder enc;
+    enc.u8(static_cast<std::uint8_t>(MsgType::kNack));
+    lattice::encode_value_set(enc, poison);
+    enc.u64(ts);
+    if (round_field_ != 0 || dec.remaining() > 0) {
+      enc.u64(round_field_);  // GWTS-shaped nack
+    }
+    ctx.send(from, enc.take());
+  } catch (const wire::WireError&) {
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PromiscuousAcker.
+// ---------------------------------------------------------------------------
+
+void PromiscuousAcker::on_message(net::IContext& ctx, NodeId from,
+                                  wire::BytesView payload) {
+  try {
+    wire::Decoder dec(payload);
+    if (static_cast<MsgType>(dec.u8()) != MsgType::kAckReq) return;
+    ValueSet set = lattice::decode_value_set(dec);
+    const std::uint64_t ts = dec.u64();
+    wire::Encoder enc;
+    enc.u8(static_cast<std::uint8_t>(MsgType::kAck));
+    lattice::encode_value_set(enc, set);
+    enc.u64(ts);
+    if (dec.remaining() >= 8) enc.u64(dec.u64());  // echo GWTS round field
+    ctx.send(from, enc.take());
+  } catch (const wire::WireError&) {
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RoundJumper.
+// ---------------------------------------------------------------------------
+
+void RoundJumper::on_start(net::IContext& ctx) {
+  // Disclose batches for rounds 0..jump_to_ in one burst, then claim to
+  // propose at the far future round. Correct acceptors only trust round
+  // r after r-1 legitimately ended, so everything beyond the frontier
+  // must sit parked without clogging anyone.
+  for (std::uint64_t r = 0; r <= jump_to_; ++r) {
+    ValueSet batch;
+    wire::Encoder v;
+    v.str("jumper");
+    v.u64(r);
+    batch.insert(v.take());
+
+    wire::Encoder payload;
+    payload.u8(static_cast<std::uint8_t>(MsgType::kDisclosure));
+    lattice::encode_value_set(payload, batch);
+    payload.u64(r);
+
+    wire::Encoder frame;
+    frame.u8(static_cast<std::uint8_t>(rbc::MsgType::kSend));
+    frame.u64(r);  // disclosure tag = round
+    frame.bytes(payload.view());
+    ctx.broadcast(frame.take());
+  }
+
+  ValueSet proposal;
+  wire::Encoder v;
+  v.str("jumper");
+  v.u64(jump_to_);
+  proposal.insert(v.take());
+  wire::Encoder enc;
+  enc.u8(static_cast<std::uint8_t>(MsgType::kAckReq));
+  lattice::encode_value_set(enc, proposal);
+  enc.u64(/*ts=*/1);
+  enc.u64(/*round=*/jump_to_);
+  ctx.broadcast(enc.take());
+}
+
+void RoundJumper::on_message(net::IContext&, NodeId, wire::BytesView) {}
+
+// ---------------------------------------------------------------------------
+// GarbageSpammer.
+// ---------------------------------------------------------------------------
+
+std::uint64_t GarbageSpammer::next() {
+  // xorshift64: deterministic garbage.
+  state_ ^= state_ << 13;
+  state_ ^= state_ >> 7;
+  state_ ^= state_ << 17;
+  return state_;
+}
+
+void GarbageSpammer::spray(net::IContext& ctx) {
+  if (budget_ == 0) return;
+  --budget_;
+  wire::Encoder enc;
+  const std::uint64_t shape = next() % 4;
+  switch (shape) {
+    case 0:  // random type byte + random tail
+      enc.u8(static_cast<std::uint8_t>(next()));
+      for (int i = 0; i < 16; ++i) enc.u8(static_cast<std::uint8_t>(next()));
+      break;
+    case 1:  // valid-looking ack_req with a huge length prefix
+      enc.u8(static_cast<std::uint8_t>(MsgType::kAckReq));
+      enc.uvarint(next());  // absurd element count
+      break;
+    case 2:  // truncated RBC echo
+      enc.u8(static_cast<std::uint8_t>(rbc::MsgType::kEcho));
+      enc.u8(0x01);
+      break;
+    default:  // empty frame
+      break;
+  }
+  ctx.broadcast(enc.take());
+}
+
+void GarbageSpammer::on_start(net::IContext& ctx) { spray(ctx); }
+
+void GarbageSpammer::on_message(net::IContext& ctx, NodeId,
+                                wire::BytesView) {
+  spray(ctx);
+}
+
+}  // namespace bla::core

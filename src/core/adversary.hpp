@@ -1,0 +1,134 @@
+#pragma once
+// Byzantine adversary library.
+//
+// Every adversary is just another net::IProcess: the runtime gives it
+// authenticated channels and nothing else, exactly the §3 power model.
+// Adversaries hand-craft raw frames (including forged RBC ECHO/READY
+// traffic under their own identity) and may deviate arbitrarily from any
+// protocol; they cannot spoof sender identities or forge signatures.
+//
+// These are used by the property tests (safety must hold under each
+// adversary, in any cocktail of at most f of them) and the attack benches
+// (T1, T6).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/common.hpp"
+#include "net/process.hpp"
+
+namespace bla::core {
+
+/// Crashed from the very start: the classic "silent" fault, also the
+/// worst case for disclosure-phase liveness (n−f threshold is tight).
+class SilentProcess final : public net::IProcess {
+public:
+  void on_start(net::IContext&) override {}
+  void on_message(net::IContext&, NodeId, wire::BytesView) override {}
+};
+
+/// Runs a correct process, then crashes (goes silent) after a fixed
+/// number of delivered messages. Models mid-protocol crashes.
+class CrashAfter final : public net::IProcess {
+public:
+  CrashAfter(std::unique_ptr<net::IProcess> inner, std::uint64_t deliveries)
+      : inner_(std::move(inner)), budget_(deliveries) {}
+
+  void on_start(net::IContext& ctx) override {
+    if (budget_ > 0) inner_->on_start(ctx);
+  }
+  void on_message(net::IContext& ctx, NodeId from,
+                  wire::BytesView payload) override {
+    if (budget_ == 0) return;
+    --budget_;
+    inner_->on_message(ctx, from, payload);
+  }
+
+private:
+  std::unique_ptr<net::IProcess> inner_;
+  std::uint64_t budget_;
+};
+
+/// Disclosure equivocator: crafts raw RBC SEND frames carrying value A to
+/// one half of the system and value B to the other half, then echoes and
+/// readies *both* — the canonical attack Bracha RBC exists to stop. Also
+/// answers ack requests with acks to look alive.
+class EquivocatingDiscloser final : public net::IProcess {
+public:
+  EquivocatingDiscloser(std::size_t n, Value value_a, Value value_b)
+      : n_(n), value_a_(std::move(value_a)), value_b_(std::move(value_b)) {}
+
+  void on_start(net::IContext& ctx) override;
+  void on_message(net::IContext& ctx, NodeId from,
+                  wire::BytesView payload) override;
+
+private:
+  std::size_t n_;
+  Value value_a_;
+  Value value_b_;
+};
+
+/// Nack-spams every ack request with a set containing values nobody ever
+/// disclosed. Correct proposers must park these messages as unsafe
+/// forever and decide regardless.
+class UnsafeNackSpammer final : public net::IProcess {
+public:
+  explicit UnsafeNackSpammer(std::uint64_t round_field = 0)
+      : round_field_(round_field) {}
+
+  void on_start(net::IContext&) override {}
+  void on_message(net::IContext& ctx, NodeId from,
+                  wire::BytesView payload) override;
+
+private:
+  std::uint64_t round_field_;
+  std::uint64_t counter_ = 0;
+};
+
+/// Acks every request instantly, echoing whatever was proposed, without
+/// maintaining any acceptor state. "Helpful" Byzantine behaviour that
+/// must not let two proposers commit incomparable sets.
+class PromiscuousAcker final : public net::IProcess {
+public:
+  void on_start(net::IContext&) override {}
+  void on_message(net::IContext& ctx, NodeId from,
+                  wire::BytesView payload) override;
+};
+
+/// GWTS round-jumper: pretends rounds far in the future already started —
+/// discloses batches and sends ack requests for them. Safe_r gating must
+/// park all of it (Lemma 7) so correct rounds are never clogged.
+class RoundJumper final : public net::IProcess {
+public:
+  explicit RoundJumper(std::uint64_t jump_to) : jump_to_(jump_to) {}
+
+  void on_start(net::IContext& ctx) override;
+  void on_message(net::IContext& ctx, NodeId from,
+                  wire::BytesView payload) override;
+
+private:
+  std::uint64_t jump_to_;
+};
+
+/// Sends syntactic garbage (random-ish bytes, truncated frames, huge
+/// length prefixes) to everyone, forever reacting to any delivery.
+/// Exercises every decoder's bounds checking.
+class GarbageSpammer final : public net::IProcess {
+public:
+  explicit GarbageSpammer(std::uint64_t seed, std::uint64_t max_messages = 64)
+      : state_(seed == 0 ? 1 : seed), budget_(max_messages) {}
+
+  void on_start(net::IContext& ctx) override;
+  void on_message(net::IContext& ctx, NodeId from,
+                  wire::BytesView payload) override;
+
+private:
+  void spray(net::IContext& ctx);
+  std::uint64_t next();
+
+  std::uint64_t state_;
+  std::uint64_t budget_;
+};
+
+}  // namespace bla::core

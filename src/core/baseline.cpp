@@ -1,0 +1,80 @@
+#include "core/baseline.hpp"
+
+namespace bla::core {
+
+BaselineLaProcess::BaselineLaProcess(BaselineConfig config,
+                                     Value initial_value)
+    : config_(config), initial_value_(std::move(initial_value)) {}
+
+void BaselineLaProcess::on_start(net::IContext& ctx) {
+  proposed_set_.insert(initial_value_);
+  send_ack_req(ctx);
+}
+
+void BaselineLaProcess::send_ack_req(net::IContext& ctx) {
+  wire::Encoder enc;
+  enc.u8(static_cast<std::uint8_t>(MsgType::kAckReq));
+  lattice::encode_value_set(enc, proposed_set_);
+  enc.u64(ts_);
+  ctx.broadcast(enc.take());
+}
+
+void BaselineLaProcess::on_message(net::IContext& ctx, NodeId from,
+                                   wire::BytesView payload) {
+  try {
+    wire::Decoder dec(payload);
+    const auto type = static_cast<MsgType>(dec.u8());
+    ValueSet set = lattice::decode_value_set(dec);
+    const std::uint64_t ts = dec.u64();
+    dec.expect_done();
+
+    switch (type) {
+      case MsgType::kAckReq: {
+        // Acceptor role: no safety filter — any set is taken at face
+        // value, which is exactly the hole Byzantine proposers exploit.
+        if (accepted_set_.leq(set)) {
+          accepted_set_ = set;
+          wire::Encoder enc;
+          enc.u8(static_cast<std::uint8_t>(MsgType::kAck));
+          lattice::encode_value_set(enc, accepted_set_);
+          enc.u64(ts);
+          ctx.send(from, enc.take());
+        } else {
+          wire::Encoder enc;
+          enc.u8(static_cast<std::uint8_t>(MsgType::kNack));
+          lattice::encode_value_set(enc, accepted_set_);
+          enc.u64(ts);
+          ctx.send(from, enc.take());
+          accepted_set_.merge(set);
+        }
+        break;
+      }
+      case MsgType::kAck: {
+        if (decided_ || ts != ts_) break;
+        ack_set_.insert(from);
+        if (ack_set_.size() >= quorum()) {
+          decided_ = true;
+          decision_ = proposed_set_;
+          decide_time_ = ctx.now();
+        }
+        break;
+      }
+      case MsgType::kNack: {
+        if (decided_ || ts != ts_) break;
+        if (!proposed_set_.would_grow_by(set)) break;
+        proposed_set_.merge(set);
+        ack_set_.clear();
+        ts_ += 1;
+        refinements_ += 1;
+        send_ack_req(ctx);
+        break;
+      }
+      default:
+        break;
+    }
+  } catch (const wire::WireError&) {
+    // Crash-fault model: malformed input "cannot happen"; drop anyway.
+  }
+}
+
+}  // namespace bla::core

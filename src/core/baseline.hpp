@@ -1,0 +1,58 @@
+#pragma once
+// Crash-fault-only Lattice Agreement baseline (Faleiro et al. [2] style):
+// the deciding phase of WTS with a simple majority quorum, *without* the
+// disclosure phase, safe-value filtering, or Byzantine quorums.
+//
+// Role in this repository: the comparison point of the benches. It shows
+// (a) what WTS's Byzantine machinery costs when everybody is honest
+// (message/latency overhead of RBC + safety), and (b) how it collapses
+// under Byzantine behaviour — equivocating proposers break Comparability,
+// which the T1 bench demonstrates.
+
+#include <cstdint>
+#include <optional>
+#include <set>
+
+#include "core/common.hpp"
+#include "net/process.hpp"
+
+namespace bla::core {
+
+struct BaselineConfig {
+  NodeId self = 0;
+  std::size_t n = 0;
+};
+
+class BaselineLaProcess : public net::IProcess {
+public:
+  BaselineLaProcess(BaselineConfig config, Value initial_value);
+
+  void on_start(net::IContext& ctx) override;
+  void on_message(net::IContext& ctx, NodeId from,
+                  wire::BytesView payload) override;
+
+  [[nodiscard]] bool has_decided() const { return decision_.has_value(); }
+  [[nodiscard]] const ValueSet& decision() const { return *decision_; }
+  [[nodiscard]] double decide_time() const { return decide_time_; }
+  [[nodiscard]] std::size_t refinement_count() const { return refinements_; }
+
+  [[nodiscard]] std::size_t quorum() const { return config_.n / 2 + 1; }
+
+private:
+  void send_ack_req(net::IContext& ctx);
+
+  BaselineConfig config_;
+  Value initial_value_;
+  bool decided_ = false;
+
+  ValueSet proposed_set_;
+  std::uint64_t ts_ = 0;
+  std::set<NodeId> ack_set_;
+  std::optional<ValueSet> decision_;
+  double decide_time_ = -1.0;
+  std::size_t refinements_ = 0;
+
+  ValueSet accepted_set_;
+};
+
+}  // namespace bla::core

@@ -1,0 +1,73 @@
+#pragma once
+// Shared protocol vocabulary: quorum arithmetic, top-level message-type
+// bytes, and the wire schemas common to the agreement engines.
+
+#include <cstdint>
+
+#include "lattice/value.hpp"
+#include "net/process.hpp"
+#include "wire/wire.hpp"
+
+namespace bla::core {
+
+using lattice::Value;
+using lattice::ValueSet;
+using net::NodeId;
+
+/// Byzantine quorum: any two quorums intersect in at least one correct
+/// process, and the n−f correct processes alone form a quorum when
+/// n ≥ 3f+1. This is the ⌊(n+f)/2⌋+1 of Algorithms 1–4 and 8–9.
+[[nodiscard]] constexpr std::size_t byz_quorum(std::size_t n, std::size_t f) {
+  return (n + f) / 2 + 1;
+}
+
+/// Disclosure-phase threshold: proceed after n−f disclosures (waiting for
+/// more could block forever; waiting for fewer would cost extra
+/// refinements — see the A1 ablation bench).
+[[nodiscard]] constexpr std::size_t disclosure_threshold(std::size_t n,
+                                                         std::size_t f) {
+  return n - f;
+}
+
+/// Largest f such that n ≥ 3f+1 (Theorem 1).
+[[nodiscard]] constexpr std::size_t max_faulty(std::size_t n) {
+  return (n - 1) / 3;
+}
+
+/// Top-level message-type bytes. The first byte of every frame; RBC owns
+/// 1..3 (see rbc/bracha.hpp).
+enum class MsgType : std::uint8_t {
+  // Payload types carried *inside* RBC deliveries.
+  kDisclosure = 20,    // WTS/GWTS value disclosure
+  kGwtsAck = 21,       // GWTS reliably-broadcast ack
+
+  // Point-to-point deciding-phase messages (WTS, GWTS, baseline).
+  kAckReq = 10,
+  kAck = 11,
+  kNack = 12,
+
+  // SbS (signature-based, §8).
+  kSbsInit = 30,
+  kSbsSafeReq = 31,
+  kSbsSafeAck = 32,
+  kSbsAckReq = 33,
+  kSbsAck = 34,
+  kSbsNack = 35,
+
+  // GSbS (generalized signature-based, §8.2).
+  kGsbsDecided = 40,
+  kGsbsInit = 41,
+  kGsbsSafeReq = 42,
+  kGsbsSafeAck = 43,
+  kGsbsAckReq = 44,
+  kGsbsAck = 45,
+  kGsbsNack = 46,
+
+  // RSM client <-> replica traffic (§7).
+  kRsmNewValue = 50,
+  kRsmDecide = 51,
+  kRsmConfReq = 52,
+  kRsmConfRep = 53,
+};
+
+}  // namespace bla::core

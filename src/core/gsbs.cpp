@@ -1,0 +1,685 @@
+#include "core/gsbs.hpp"
+
+#include <algorithm>
+
+namespace bla::core {
+
+namespace {
+
+constexpr std::size_t kMaxBatchesPerMessage = 1 << 12;
+constexpr std::size_t kMaxProofAcks = 1 << 10;
+constexpr std::size_t kMaxConflicts = 1 << 10;
+
+// ---------------------------------------------------------------------------
+// Codecs (local to GSbS).
+// ---------------------------------------------------------------------------
+
+void encode_signed_batch(wire::Encoder& enc, const SignedBatch& sb) {
+  enc.u32(sb.signer);
+  enc.u64(sb.round);
+  lattice::encode_value_set(enc, sb.batch);
+  enc.bytes(sb.signature);
+}
+
+SignedBatch decode_signed_batch(wire::Decoder& dec) {
+  SignedBatch sb;
+  sb.signer = dec.u32();
+  sb.round = dec.u64();
+  sb.batch = lattice::decode_value_set(dec);
+  sb.signature = dec.bytes();
+  if (sb.signature.size() > 128) throw wire::WireError("oversized signature");
+  return sb;
+}
+
+void encode_batch_safe_ack(wire::Encoder& enc, const BatchSafeAck& ack) {
+  enc.u32(ack.acceptor);
+  enc.u64(ack.round);
+  enc.uvarint(ack.received.size());
+  for (const SignedBatch& sb : ack.received) encode_signed_batch(enc, sb);
+  enc.uvarint(ack.conflicts.size());
+  for (const auto& [a, b] : ack.conflicts) {
+    encode_signed_batch(enc, a);
+    encode_signed_batch(enc, b);
+  }
+  enc.bytes(ack.signature);
+}
+
+BatchSafeAck decode_batch_safe_ack(wire::Decoder& dec) {
+  BatchSafeAck ack;
+  ack.acceptor = dec.u32();
+  ack.round = dec.u64();
+  const std::uint64_t nr = dec.uvarint();
+  if (nr > kMaxBatchesPerMessage) throw wire::WireError("oversized ack");
+  for (std::uint64_t i = 0; i < nr; ++i) {
+    ack.received.push_back(decode_signed_batch(dec));
+  }
+  const std::uint64_t nc = dec.uvarint();
+  if (nc > kMaxConflicts) throw wire::WireError("oversized conflicts");
+  for (std::uint64_t i = 0; i < nc; ++i) {
+    SignedBatch a = decode_signed_batch(dec);
+    SignedBatch b = decode_signed_batch(dec);
+    ack.conflicts.emplace_back(std::move(a), std::move(b));
+  }
+  ack.signature = dec.bytes();
+  if (ack.signature.size() > 128) throw wire::WireError("oversized signature");
+  return ack;
+}
+
+void encode_proposal(wire::Encoder& enc,
+                     const std::vector<ProvenBatch>& proposal) {
+  enc.uvarint(proposal.size());
+  for (const ProvenBatch& pb : proposal) {
+    encode_signed_batch(enc, pb.sb);
+    enc.uvarint(pb.proof.size());
+    for (const BatchSafeAck& ack : pb.proof) encode_batch_safe_ack(enc, ack);
+  }
+}
+
+std::vector<ProvenBatch> decode_proposal(wire::Decoder& dec) {
+  const std::uint64_t count = dec.uvarint();
+  if (count > kMaxBatchesPerMessage) throw wire::WireError("oversized");
+  std::vector<ProvenBatch> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    ProvenBatch pb;
+    pb.sb = decode_signed_batch(dec);
+    const std::uint64_t np = dec.uvarint();
+    if (np > kMaxProofAcks) throw wire::WireError("oversized proof");
+    for (std::uint64_t j = 0; j < np; ++j) {
+      pb.proof.push_back(decode_batch_safe_ack(dec));
+    }
+    out.push_back(std::move(pb));
+  }
+  return out;
+}
+
+void encode_signed_ack(wire::Encoder& enc, const SignedAck& ack) {
+  enc.u32(ack.acceptor);
+  enc.raw(std::span(ack.digest.data(), ack.digest.size()));
+  enc.u64(ack.ts);
+  enc.u64(ack.round);
+  enc.bytes(ack.signature);
+}
+
+SignedAck decode_signed_ack(wire::Decoder& dec) {
+  SignedAck ack;
+  ack.acceptor = dec.u32();
+  const wire::BytesView digest = dec.raw(ack.digest.size());
+  std::copy(digest.begin(), digest.end(), ack.digest.begin());
+  ack.ts = dec.u64();
+  ack.round = dec.u64();
+  ack.signature = dec.bytes();
+  if (ack.signature.size() > 128) throw wire::WireError("oversized signature");
+  return ack;
+}
+
+void encode_cert(wire::Encoder& enc, const DecidedCert& cert) {
+  enc.u64(cert.round);
+  enc.u64(cert.ts);
+  encode_proposal(enc, cert.proposal);
+  enc.uvarint(cert.acks.size());
+  for (const SignedAck& ack : cert.acks) encode_signed_ack(enc, ack);
+}
+
+DecidedCert decode_cert(wire::Decoder& dec) {
+  DecidedCert cert;
+  cert.round = dec.u64();
+  cert.ts = dec.u64();
+  cert.proposal = decode_proposal(dec);
+  const std::uint64_t na = dec.uvarint();
+  if (na > kMaxProofAcks) throw wire::WireError("oversized cert");
+  for (std::uint64_t i = 0; i < na; ++i) {
+    cert.acks.push_back(decode_signed_ack(dec));
+  }
+  return cert;
+}
+
+/// Batches a proposer may keep from a round's snapshot: signers with
+/// exactly one distinct batch for that round.
+std::vector<SignedBatch> conflict_free(
+    const std::map<NodeId, std::vector<SignedBatch>>& by_signer) {
+  std::vector<SignedBatch> out;
+  for (const auto& [signer, batches] : by_signer) {
+    if (batches.size() == 1) out.push_back(batches.front());
+  }
+  return out;
+}
+
+void index_batch(std::map<NodeId, std::vector<SignedBatch>>& by_signer,
+                 const SignedBatch& sb) {
+  auto& batches = by_signer[sb.signer];
+  for (const SignedBatch& existing : batches) {
+    if (existing == sb) return;
+  }
+  if (batches.size() < 4) batches.push_back(sb);
+}
+
+ValueSet proposal_union(const std::vector<ProvenBatch>& proposal) {
+  ValueSet out;
+  for (const ProvenBatch& pb : proposal) out.merge(pb.sb.batch);
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Construction / submission.
+// ---------------------------------------------------------------------------
+
+GsbsProcess::GsbsProcess(GsbsConfig config,
+                         std::shared_ptr<const crypto::ISigner> signer,
+                         DecideFn on_decide)
+    : config_(config),
+      signer_(std::move(signer)),
+      on_decide_(std::move(on_decide)) {}
+
+void GsbsProcess::submit(Value value) {
+  const std::uint64_t target = started_ ? round_ + 1 : 0;
+  batches_[target].insert(std::move(value));
+}
+
+// ---------------------------------------------------------------------------
+// Signing bytes / digests.
+// ---------------------------------------------------------------------------
+
+wire::Bytes GsbsProcess::batch_signing_bytes(const SignedBatch& sb) const {
+  wire::Encoder enc;
+  enc.str("gsbs-batch");
+  enc.u32(sb.signer);
+  enc.u64(sb.round);
+  lattice::encode_value_set(enc, sb.batch);
+  return enc.take();
+}
+
+wire::Bytes GsbsProcess::safe_ack_signing_bytes(
+    const BatchSafeAck& ack) const {
+  wire::Encoder enc;
+  enc.str("gsbs-safe-ack");
+  enc.u32(ack.acceptor);
+  enc.u64(ack.round);
+  enc.uvarint(ack.received.size());
+  for (const SignedBatch& sb : ack.received) {
+    enc.u32(sb.signer);
+    enc.u64(sb.round);
+    lattice::encode_value_set(enc, sb.batch);
+  }
+  enc.uvarint(ack.conflicts.size());
+  for (const auto& [a, b] : ack.conflicts) {
+    enc.u32(a.signer);
+    lattice::encode_value_set(enc, a.batch);
+    lattice::encode_value_set(enc, b.batch);
+  }
+  return enc.take();
+}
+
+wire::Bytes GsbsProcess::ack_signing_bytes(const SignedAck& ack) const {
+  wire::Encoder enc;
+  enc.str("gsbs-ack");
+  enc.u32(ack.acceptor);
+  enc.raw(std::span(ack.digest.data(), ack.digest.size()));
+  enc.u64(ack.ts);
+  enc.u64(ack.round);
+  return enc.take();
+}
+
+crypto::Sha256::Digest GsbsProcess::proposal_digest(
+    const ProposalMap& proposal) const {
+  // Digest over the (signer, round, batch) triples — the content a
+  // quorum accepts; proofs and signature bytes are evidence.
+  wire::Encoder enc;
+  enc.uvarint(proposal.size());
+  for (const auto& [sb, proof] : proposal) {
+    enc.u32(sb.signer);
+    enc.u64(sb.round);
+    lattice::encode_value_set(enc, sb.batch);
+  }
+  return crypto::Sha256::hash(std::span(enc.view()));
+}
+
+// ---------------------------------------------------------------------------
+// Validation.
+// ---------------------------------------------------------------------------
+
+bool GsbsProcess::verify_signed_batch(const SignedBatch& sb) const {
+  if (sb.signer >= config_.n) return false;
+  return signer_->verify(sb.signer, batch_signing_bytes(sb), sb.signature);
+}
+
+bool GsbsProcess::verify_conflict_pair(
+    const std::pair<SignedBatch, SignedBatch>& pair) const {
+  // Conflicts are scoped to one round: an honest proposer signs exactly
+  // one batch per round, and pairs from *different* rounds are the normal
+  // course of the protocol, not equivocation.
+  return pair.first.signer == pair.second.signer &&
+         pair.first.round == pair.second.round &&
+         !(pair.first.batch == pair.second.batch) &&
+         verify_signed_batch(pair.first) && verify_signed_batch(pair.second);
+}
+
+bool GsbsProcess::verify_batch_safe_ack(const BatchSafeAck& ack) const {
+  if (ack.acceptor >= config_.n) return false;
+  if (!signer_->verify(ack.acceptor, safe_ack_signing_bytes(ack),
+                       ack.signature)) {
+    return false;
+  }
+  return std::all_of(
+      ack.conflicts.begin(), ack.conflicts.end(),
+      [this](const auto& pair) { return verify_conflict_pair(pair); });
+}
+
+bool GsbsProcess::all_safe(const std::vector<ProvenBatch>& batches) const {
+  const std::size_t quorum = byz_quorum(config_.n, config_.f);
+  for (const ProvenBatch& pb : batches) {
+    if (!verify_signed_batch(pb.sb)) return false;
+    if (pb.proof.size() < quorum) return false;
+    std::set<NodeId> senders;
+    for (const BatchSafeAck& ack : pb.proof) {
+      if (ack.round != pb.sb.round) return false;
+      if (!senders.insert(ack.acceptor).second) return false;
+      if (!verify_batch_safe_ack(ack)) return false;
+      const bool contains =
+          std::find(ack.received.begin(), ack.received.end(), pb.sb) !=
+          ack.received.end();
+      if (!contains) return false;
+      for (const auto& [a, b] : ack.conflicts) {
+        if (a == pb.sb || b == pb.sb) return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool GsbsProcess::verify_cert(const DecidedCert& cert) const {
+  if (cert.acks.size() < byz_quorum(config_.n, config_.f)) return false;
+  ProposalMap as_map;
+  for (const ProvenBatch& pb : cert.proposal) as_map.emplace(pb.sb, pb.proof);
+  const crypto::Sha256::Digest digest = proposal_digest(as_map);
+  std::set<NodeId> senders;
+  for (const SignedAck& ack : cert.acks) {
+    if (ack.acceptor >= config_.n) return false;
+    if (!senders.insert(ack.acceptor).second) return false;
+    if (ack.round != cert.round || ack.ts != cert.ts) return false;
+    if (ack.digest != digest) return false;
+    if (!signer_->verify(ack.acceptor, ack_signing_bytes(ack),
+                         ack.signature)) {
+      return false;
+    }
+  }
+  return all_safe(cert.proposal);
+}
+
+// ---------------------------------------------------------------------------
+// Round machinery.
+// ---------------------------------------------------------------------------
+
+void GsbsProcess::on_start(net::IContext& ctx) {
+  ctx_ = &ctx;
+  started_ = true;
+  start_round();
+  ctx_ = nullptr;
+}
+
+void GsbsProcess::start_round() {
+  if (config_.max_rounds != 0 && round_ >= config_.max_rounds) {
+    state_ = State::kStopped;
+    return;
+  }
+  state_ = State::kInit;
+  safe_acks_.clear();
+  safety_snapshot_.clear();
+
+  SignedBatch sb;
+  sb.signer = config_.self;
+  sb.round = round_;
+  sb.batch = batches_[round_];
+  sb.signature = signer_->sign(batch_signing_bytes(sb));
+  index_batch(init_seen_[round_], sb);
+
+  wire::Encoder enc;
+  enc.u8(static_cast<std::uint8_t>(MsgType::kGsbsInit));
+  encode_signed_batch(enc, sb);
+  ctx_->broadcast(enc.take());
+  maybe_enter_safetying();
+}
+
+void GsbsProcess::maybe_enter_safetying() {
+  if (state_ != State::kInit) return;
+  std::vector<SignedBatch> safety_set = conflict_free(init_seen_[round_]);
+  if (safety_set.size() < disclosure_threshold(config_.n, config_.f)) return;
+  state_ = State::kSafetying;
+  std::sort(safety_set.begin(), safety_set.end());
+  safety_snapshot_ = std::move(safety_set);
+
+  wire::Encoder enc;
+  enc.u8(static_cast<std::uint8_t>(MsgType::kGsbsSafeReq));
+  enc.u64(round_);
+  enc.uvarint(safety_snapshot_.size());
+  for (const SignedBatch& sb : safety_snapshot_) encode_signed_batch(enc, sb);
+  ctx_->broadcast(enc.take());
+}
+
+void GsbsProcess::enter_proposing() {
+  state_ = State::kProposing;
+  std::vector<BatchSafeAck> proof;
+  proof.reserve(safe_acks_.size());
+  for (const auto& [acceptor, ack] : safe_acks_) proof.push_back(ack);
+
+  for (const SignedBatch& sb : safety_snapshot_) {
+    bool conflicted = false;
+    for (const BatchSafeAck& ack : proof) {
+      for (const auto& [a, b] : ack.conflicts) {
+        if (a == sb || b == sb) {
+          conflicted = true;
+          break;
+        }
+      }
+      if (conflicted) break;
+    }
+    if (!conflicted) proposed_.emplace(sb, proof);  // cumulative across rounds
+  }
+
+  ack_senders_.clear();
+  collected_acks_.clear();
+  ts_ += 1;
+  send_ack_req();
+}
+
+void GsbsProcess::send_ack_req() {
+  std::vector<ProvenBatch> proposal;
+  proposal.reserve(proposed_.size());
+  for (const auto& [sb, proof] : proposed_) proposal.push_back({sb, proof});
+
+  wire::Encoder enc;
+  enc.u8(static_cast<std::uint8_t>(MsgType::kGsbsAckReq));
+  enc.u64(ts_);
+  enc.u64(round_);
+  encode_proposal(enc, proposal);
+  ctx_->broadcast(enc.take());
+}
+
+void GsbsProcess::broadcast_cert_and_decide(DecidedCert cert) {
+  wire::Encoder enc;
+  enc.u8(static_cast<std::uint8_t>(MsgType::kGsbsDecided));
+  encode_cert(enc, cert);
+  ctx_->broadcast(enc.take());
+
+  const std::uint64_t round = cert.round;
+  const ValueSet decision = proposal_union(cert.proposal);
+  certs_.emplace(round, std::move(cert));
+  advance_trust();
+
+  decided_set_ = decision;
+  decisions_.push_back({decided_set_, round, ctx_->now()});
+  if (on_decide_) on_decide_(decisions_.back());
+  round_ += 1;
+  start_round();
+}
+
+void GsbsProcess::adopt_cert(const DecidedCert& cert) {
+  // The GWTS rule transplanted: any legitimately ended round we are
+  // currently proposing in can be decided, if Local Stability allows.
+  if (state_ != State::kProposing || cert.round != round_) return;
+  const ValueSet union_set = proposal_union(cert.proposal);
+  if (!decided_set_.leq(union_set)) return;
+  for (const ProvenBatch& pb : cert.proposal) {
+    proposed_.emplace(pb.sb, pb.proof);
+  }
+  decided_set_ = union_set;
+  decisions_.push_back({decided_set_, round_, ctx_->now()});
+  if (on_decide_) on_decide_(decisions_.back());
+  round_ += 1;
+  start_round();
+}
+
+void GsbsProcess::advance_trust() {
+  while (certs_.contains(safe_r_)) {
+    safe_r_ += 1;
+  }
+  drain_buffers();
+}
+
+void GsbsProcess::drain_buffers() {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto it = buffered_reqs_.begin(); it != buffered_reqs_.end();) {
+      if (it->round <= safe_r_) {
+        BufferedReq req = std::move(*it);
+        it = buffered_reqs_.erase(it);
+        // Replay through the acceptor path now that the round is trusted.
+        wire::Encoder enc;
+        enc.u64(req.ts);
+        enc.u64(req.round);
+        encode_proposal(enc, req.proposal);
+        wire::Decoder dec(enc.view());
+        on_ack_req(req.from, dec);
+        progress = true;
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch.
+// ---------------------------------------------------------------------------
+
+void GsbsProcess::on_message(net::IContext& ctx, NodeId from,
+                             wire::BytesView payload) {
+  ctx_ = &ctx;
+  try {
+    wire::Decoder dec(payload);
+    const auto type = static_cast<MsgType>(dec.u8());
+    switch (type) {
+      case MsgType::kGsbsInit:
+        on_init(from, dec);
+        break;
+      case MsgType::kGsbsSafeReq:
+        on_safe_req(from, dec);
+        break;
+      case MsgType::kGsbsSafeAck:
+        on_safe_ack(from, dec);
+        break;
+      case MsgType::kGsbsAckReq:
+        on_ack_req(from, dec);
+        break;
+      case MsgType::kGsbsAck:
+        on_ack(from, dec);
+        break;
+      case MsgType::kGsbsNack:
+        on_nack(from, dec);
+        break;
+      case MsgType::kGsbsDecided:
+        on_decided(from, dec);
+        break;
+      default:
+        break;
+    }
+  } catch (const wire::WireError&) {
+    // Byzantine; drop.
+  }
+  ctx_ = nullptr;
+}
+
+void GsbsProcess::on_init(NodeId from, wire::Decoder& dec) {
+  SignedBatch sb = decode_signed_batch(dec);
+  dec.expect_done();
+  if (sb.signer != from) return;  // INIT commits the *sender's* batch
+  if (!verify_signed_batch(sb)) return;
+  index_batch(init_seen_[sb.round], sb);
+  if (sb.round == round_) maybe_enter_safetying();
+}
+
+void GsbsProcess::on_safe_req(NodeId from, wire::Decoder& dec) {
+  const std::uint64_t round = dec.u64();
+  const std::uint64_t count = dec.uvarint();
+  if (count > kMaxBatchesPerMessage) throw wire::WireError("oversized");
+  std::vector<SignedBatch> set;
+  set.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    set.push_back(decode_signed_batch(dec));
+  }
+  dec.expect_done();
+  const bool ok =
+      std::all_of(set.begin(), set.end(), [&](const SignedBatch& sb) {
+        return sb.round == round && verify_signed_batch(sb);
+      });
+  if (!ok) return;
+
+  auto merged = candidate_seen_[round];
+  for (const SignedBatch& sb : set) index_batch(merged, sb);
+
+  BatchSafeAck ack;
+  ack.acceptor = config_.self;
+  ack.round = round;
+  ack.received = set;
+  for (const auto& [signer, batches] : merged) {
+    if (batches.size() >= 2) {
+      ack.conflicts.emplace_back(batches[0], batches[1]);
+    }
+  }
+  ack.signature = signer_->sign(safe_ack_signing_bytes(ack));
+
+  wire::Encoder enc;
+  enc.u8(static_cast<std::uint8_t>(MsgType::kGsbsSafeAck));
+  encode_batch_safe_ack(enc, ack);
+  ctx_->send(from, enc.take());
+  candidate_seen_[round] = std::move(merged);
+}
+
+void GsbsProcess::on_safe_ack(NodeId from, wire::Decoder& dec) {
+  if (state_ != State::kSafetying) return;
+  BatchSafeAck ack = decode_batch_safe_ack(dec);
+  dec.expect_done();
+  if (ack.acceptor != from || ack.round != round_) return;
+  std::vector<SignedBatch> rcvd_sorted = ack.received;
+  std::sort(rcvd_sorted.begin(), rcvd_sorted.end());
+  if (rcvd_sorted != safety_snapshot_) return;
+  if (!verify_batch_safe_ack(ack)) return;
+  safe_acks_.emplace(from, std::move(ack));
+  if (safe_acks_.size() >= byz_quorum(config_.n, config_.f)) {
+    enter_proposing();
+  }
+}
+
+void GsbsProcess::on_ack_req(NodeId from, wire::Decoder& dec) {
+  const std::uint64_t ts = dec.u64();
+  const std::uint64_t round = dec.u64();
+  std::vector<ProvenBatch> proposal = decode_proposal(dec);
+
+  if (round > safe_r_) {
+    // Round not yet trusted (Lemma 7's gate): park the request. If we
+    // already hold the certificate ending the round the proposer lags
+    // behind on, piggyback it (§8.2).
+    if (buffered_reqs_.size() < (1u << 12)) {
+      buffered_reqs_.push_back({from, std::move(proposal), ts, round});
+    }
+    return;
+  }
+  if (!all_safe(proposal)) return;
+
+  ProposalMap rcvd;
+  for (ProvenBatch& pb : proposal) {
+    rcvd.emplace(std::move(pb.sb), std::move(pb.proof));
+  }
+
+  const bool is_subset =
+      std::all_of(accepted_.begin(), accepted_.end(),
+                  [&](const auto& kv) { return rcvd.contains(kv.first); });
+  if (is_subset) {
+    accepted_ = rcvd;
+    SignedAck ack;
+    ack.acceptor = config_.self;
+    ack.digest = proposal_digest(accepted_);
+    ack.ts = ts;
+    ack.round = round;
+    ack.signature = signer_->sign(ack_signing_bytes(ack));
+    wire::Encoder enc;
+    enc.u8(static_cast<std::uint8_t>(MsgType::kGsbsAck));
+    encode_signed_ack(enc, ack);
+    ctx_->send(from, enc.take());
+  } else {
+    std::vector<ProvenBatch> mine;
+    mine.reserve(accepted_.size());
+    for (const auto& [sb, proof] : accepted_) mine.push_back({sb, proof});
+    wire::Encoder enc;
+    enc.u8(static_cast<std::uint8_t>(MsgType::kGsbsNack));
+    enc.u64(ts);
+    enc.u64(round);
+    encode_proposal(enc, mine);
+    ctx_->send(from, enc.take());
+    for (auto& [sb, proof] : rcvd) accepted_.emplace(sb, proof);
+  }
+
+  // §8.2 piggyback: attach any certificate we hold for this round so a
+  // lagging proposer can decide and move on.
+  auto cert_it = certs_.find(round);
+  if (cert_it != certs_.end()) {
+    wire::Encoder enc;
+    enc.u8(static_cast<std::uint8_t>(MsgType::kGsbsDecided));
+    encode_cert(enc, cert_it->second);
+    ctx_->send(from, enc.take());
+  }
+}
+
+void GsbsProcess::on_ack(NodeId from, wire::Decoder& dec) {
+  if (state_ != State::kProposing) return;
+  SignedAck ack = decode_signed_ack(dec);
+  dec.expect_done();
+  if (ack.acceptor != from || ack.ts != ts_ || ack.round != round_) return;
+  if (ack.digest != proposal_digest(proposed_)) return;
+  if (!signer_->verify(from, ack_signing_bytes(ack), ack.signature)) return;
+  if (!ack_senders_.insert(from).second) return;
+  collected_acks_.push_back(std::move(ack));
+
+  if (ack_senders_.size() >= byz_quorum(config_.n, config_.f)) {
+    DecidedCert cert;
+    cert.round = round_;
+    cert.ts = ts_;
+    for (const auto& [sb, proof] : proposed_) {
+      cert.proposal.push_back({sb, proof});
+    }
+    cert.acks = collected_acks_;
+    broadcast_cert_and_decide(std::move(cert));
+  }
+}
+
+void GsbsProcess::on_nack(NodeId from, wire::Decoder& dec) {
+  if (state_ != State::kProposing) return;
+  const std::uint64_t ts = dec.u64();
+  const std::uint64_t round = dec.u64();
+  std::vector<ProvenBatch> proposal = decode_proposal(dec);
+  dec.expect_done();
+  (void)from;
+  if (ts != ts_ || round != round_) return;
+  const bool grows = std::any_of(
+      proposal.begin(), proposal.end(),
+      [this](const ProvenBatch& pb) { return !proposed_.contains(pb.sb); });
+  if (!grows || !all_safe(proposal)) return;
+  for (ProvenBatch& pb : proposal) {
+    proposed_.emplace(std::move(pb.sb), std::move(pb.proof));
+  }
+  ack_senders_.clear();
+  collected_acks_.clear();
+  ts_ += 1;
+  refinements_ += 1;
+  send_ack_req();
+}
+
+void GsbsProcess::on_decided(NodeId /*from*/, wire::Decoder& dec) {
+  DecidedCert cert = decode_cert(dec);
+  dec.expect_done();
+  if (certs_.contains(cert.round)) {
+    // Already trusted; still try adoption (we may have lagged).
+    adopt_cert(certs_.at(cert.round));
+    return;
+  }
+  if (!verify_cert(cert)) return;
+  const std::uint64_t round = cert.round;
+  certs_.emplace(round, std::move(cert));
+  advance_trust();
+  adopt_cert(certs_.at(round));
+}
+
+}  // namespace bla::core

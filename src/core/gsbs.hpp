@@ -1,0 +1,209 @@
+#pragma once
+// GSbS — Generalized Safety by Signature (paper §8.2).
+//
+// The paper sketches how to generalize SbS while keeping its message
+// complexity: replace the reliable broadcast GWTS uses for acks with
+// (1) *signed* point-to-point acks, so a proposer can prove to anyone
+//     that its proposal was accepted by a quorum, and
+// (2) a `decided` certificate — the proposal plus ⌊(n+f)/2⌋+1 signed
+//     acks — broadcast before deciding, which replaces the "public
+//     acceptance" role of the ack RBC: an acceptor trusts round r+1 once
+//     it saw a well-formed certificate ending round r, and certificates
+//     are piggybacked to lagging proposers on their round-r requests.
+//
+// This file is our concretization of that sketch. Per round, the value
+// *disclosure* also runs SbS-style (signed batches + conflict-listing
+// safe-acks) instead of Bracha RBC, keeping the whole round at O(f·n)
+// messages per proposer. Equivocation is scoped per round: a conflict is
+// two differently-valued batches signed by the same node *for the same
+// round* (an honest proposer legitimately signs one batch per round).
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/common.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/signer.hpp"
+#include "net/process.hpp"
+
+namespace bla::core {
+
+/// A proposer's batch for one round, bound to its author and round by a
+/// signature over (signer, round, batch).
+struct SignedBatch {
+  NodeId signer = 0;
+  std::uint64_t round = 0;
+  ValueSet batch;
+  wire::Bytes signature;
+
+  /// Identity for set membership: signature bytes are evidence, and the
+  /// batch content is pinned by (signer, round) once conflict-free.
+  [[nodiscard]] std::tuple<NodeId, std::uint64_t, const std::vector<Value>&>
+  key() const {
+    return {signer, round, batch.elements()};
+  }
+  friend bool operator==(const SignedBatch& a, const SignedBatch& b) {
+    return a.key() == b.key();
+  }
+  friend bool operator<(const SignedBatch& a, const SignedBatch& b) {
+    return a.key() < b.key();
+  }
+};
+
+/// Signed acceptor response of a round's safetying phase.
+struct BatchSafeAck {
+  NodeId acceptor = 0;
+  std::uint64_t round = 0;
+  std::vector<SignedBatch> received;
+  std::vector<std::pair<SignedBatch, SignedBatch>> conflicts;
+  wire::Bytes signature;
+};
+
+/// A batch with its proof of safety.
+struct ProvenBatch {
+  SignedBatch sb;
+  std::vector<BatchSafeAck> proof;
+};
+
+/// Signed acceptance of a proposal (digest-based).
+struct SignedAck {
+  NodeId acceptor = 0;
+  crypto::Sha256::Digest digest{};
+  std::uint64_t ts = 0;
+  std::uint64_t round = 0;
+  wire::Bytes signature;
+};
+
+/// The §8.2 `decided` certificate: proof that a round legitimately ended.
+struct DecidedCert {
+  std::uint64_t round = 0;
+  std::uint64_t ts = 0;
+  std::vector<ProvenBatch> proposal;
+  std::vector<SignedAck> acks;
+};
+
+struct GsbsConfig {
+  NodeId self = 0;
+  std::size_t n = 0;
+  std::size_t f = 0;
+  std::uint64_t max_rounds = 0;  // 0 = unbounded
+};
+
+class GsbsProcess : public net::IProcess {
+public:
+  struct Decision {
+    ValueSet set;
+    std::uint64_t round = 0;
+    double time = 0.0;
+  };
+  using DecideFn = std::function<void(const Decision&)>;
+
+  GsbsProcess(GsbsConfig config,
+              std::shared_ptr<const crypto::ISigner> signer,
+              DecideFn on_decide = nullptr);
+
+  /// new_value(v): batched into the next round, as in GWTS.
+  void submit(Value value);
+
+  void on_start(net::IContext& ctx) override;
+  void on_message(net::IContext& ctx, NodeId from,
+                  wire::BytesView payload) override;
+
+  [[nodiscard]] const std::vector<Decision>& decisions() const {
+    return decisions_;
+  }
+  [[nodiscard]] const ValueSet& decided_set() const { return decided_set_; }
+  [[nodiscard]] std::uint64_t current_round() const { return round_; }
+  [[nodiscard]] std::uint64_t trusted_round() const { return safe_r_; }
+  [[nodiscard]] std::size_t refinement_count() const { return refinements_; }
+
+private:
+  enum class State { kInit, kSafetying, kProposing, kStopped };
+
+  using ProposalMap = std::map<SignedBatch, std::vector<BatchSafeAck>>;
+
+  // -- signing-bytes helpers ------------------------------------------------
+  [[nodiscard]] wire::Bytes batch_signing_bytes(const SignedBatch& sb) const;
+  [[nodiscard]] wire::Bytes safe_ack_signing_bytes(
+      const BatchSafeAck& ack) const;
+  [[nodiscard]] wire::Bytes ack_signing_bytes(const SignedAck& ack) const;
+  [[nodiscard]] crypto::Sha256::Digest proposal_digest(
+      const ProposalMap& proposal) const;
+
+  // -- validation -----------------------------------------------------------
+  [[nodiscard]] bool verify_signed_batch(const SignedBatch& sb) const;
+  [[nodiscard]] bool verify_conflict_pair(
+      const std::pair<SignedBatch, SignedBatch>& pair) const;
+  [[nodiscard]] bool verify_batch_safe_ack(const BatchSafeAck& ack) const;
+  [[nodiscard]] bool all_safe(const std::vector<ProvenBatch>& batches) const;
+  [[nodiscard]] bool verify_cert(const DecidedCert& cert) const;
+
+  // -- protocol steps ---------------------------------------------------
+  void start_round();
+  void maybe_enter_safetying();
+  void enter_proposing();
+  void send_ack_req();
+  void broadcast_cert_and_decide(DecidedCert cert);
+  void adopt_cert(const DecidedCert& cert);
+  void advance_trust();
+  void drain_buffers();
+
+  // -- handlers -------------------------------------------------------------
+  void on_init(NodeId from, wire::Decoder& dec);
+  void on_safe_req(NodeId from, wire::Decoder& dec);
+  void on_safe_ack(NodeId from, wire::Decoder& dec);
+  void on_ack_req(NodeId from, wire::Decoder& dec);
+  void on_ack(NodeId from, wire::Decoder& dec);
+  void on_nack(NodeId from, wire::Decoder& dec);
+  void on_decided(NodeId from, wire::Decoder& dec);
+
+  GsbsConfig config_;
+  std::shared_ptr<const crypto::ISigner> signer_;
+  DecideFn on_decide_;
+  net::IContext* ctx_ = nullptr;
+
+  State state_ = State::kInit;
+  std::uint64_t round_ = 0;
+  std::uint64_t ts_ = 0;
+  bool started_ = false;
+  std::map<std::uint64_t, ValueSet> batches_;
+
+  // Per-round init collections: signer -> distinct signed batches seen.
+  std::map<std::uint64_t, std::map<NodeId, std::vector<SignedBatch>>>
+      init_seen_;
+  std::vector<SignedBatch> safety_snapshot_;
+  std::map<NodeId, BatchSafeAck> safe_acks_;
+
+  // Cumulative proposal across rounds (the GWTS Proposed_set analogue).
+  ProposalMap proposed_;
+  std::set<NodeId> ack_senders_;
+  std::vector<SignedAck> collected_acks_;
+
+  ValueSet decided_set_;
+  std::vector<Decision> decisions_;
+  std::size_t refinements_ = 0;
+
+  // Acceptor state.
+  std::map<std::uint64_t, std::map<NodeId, std::vector<SignedBatch>>>
+      candidate_seen_;
+  ProposalMap accepted_;
+  std::uint64_t safe_r_ = 0;
+  std::map<std::uint64_t, DecidedCert> certs_;  // well-formed, by round
+
+  // Buffered frames awaiting round trust.
+  struct BufferedReq {
+    NodeId from;
+    std::vector<ProvenBatch> proposal;
+    std::uint64_t ts = 0;
+    std::uint64_t round = 0;
+  };
+  std::deque<BufferedReq> buffered_reqs_;
+};
+
+}  // namespace bla::core

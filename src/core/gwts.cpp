@@ -1,0 +1,301 @@
+#include "core/gwts.hpp"
+
+namespace bla::core {
+
+namespace {
+constexpr std::size_t kMaxWaitingMsgs = 1 << 16;
+}  // namespace
+
+GwtsProcess::GwtsProcess(GwtsConfig config, DecideFn on_decide)
+    : config_(config),
+      on_decide_(std::move(on_decide)),
+      rbc_(
+          rbc::BrachaRbc::Config{config.self, config.n, config.f},
+          [this](NodeId to, wire::Bytes bytes) {
+            ctx_->send(to, std::move(bytes));
+          },
+          [this](NodeId origin, std::uint64_t tag, wire::Bytes payload) {
+            on_rbc_deliver(origin, tag, std::move(payload));
+          }) {}
+
+void GwtsProcess::submit(Value value) {
+  // Alg. 3 lines 8-9: values received during round r join Batch[r+1].
+  // Before the first round starts they join Batch[0].
+  const std::uint64_t target = started_ ? round_ + 1 : 0;
+  batches_[target].insert(std::move(value));
+}
+
+void GwtsProcess::on_start(net::IContext& ctx) {
+  ctx_ = &ctx;
+  started_ = true;
+  start_round();
+  ctx_ = nullptr;
+}
+
+void GwtsProcess::start_round() {
+  // Alg. 3 lines 11-15 (the state=newround transition). round_ holds the
+  // round being started; the constructor primes it at 0.
+  if (config_.max_rounds != 0 && round_ >= config_.max_rounds) {
+    state_ = State::kStopped;  // acceptor role stays live
+    return;
+  }
+  state_ = State::kDisclosing;
+  const ValueSet& batch = batches_[round_];
+  proposed_set_.merge(batch);
+
+  wire::Encoder enc;
+  enc.u8(static_cast<std::uint8_t>(MsgType::kDisclosure));
+  lattice::encode_value_set(enc, batch);
+  enc.u64(round_);
+  rbc_.broadcast(/*tag=*/round_, enc.view());
+  // The transition below may already hold if n-f disclosures for this
+  // round arrived while we were finishing the previous one.
+  if (disclosure_counter_[round_] >= disclosure_threshold(config_.n, config_.f)) {
+    begin_proposing();
+  }
+}
+
+void GwtsProcess::begin_proposing() {
+  // Alg. 3 lines 22-25.
+  state_ = State::kProposing;
+  ts_ += 1;
+  send_ack_req();
+  drain_waiting();
+  check_decide();
+}
+
+void GwtsProcess::send_ack_req() {
+  wire::Encoder enc;
+  enc.u8(static_cast<std::uint8_t>(MsgType::kAckReq));
+  lattice::encode_value_set(enc, proposed_set_);
+  enc.u64(ts_);
+  enc.u64(round_);
+  ctx_->broadcast(enc.take());
+}
+
+void GwtsProcess::on_message(net::IContext& ctx, NodeId from,
+                             wire::BytesView payload) {
+  ctx_ = &ctx;
+  try {
+    wire::Decoder dec(payload);
+    const std::uint8_t type = dec.u8();
+    if (rbc_.handle(from, type, dec)) {
+      ctx_ = nullptr;
+      return;
+    }
+    PendingPoint msg;
+    msg.from = from;
+    msg.type = static_cast<MsgType>(type);
+    switch (msg.type) {
+      case MsgType::kAckReq:
+      case MsgType::kNack:
+        msg.set = lattice::decode_value_set(dec);
+        msg.ts = dec.u64();
+        msg.round = dec.u64();
+        dec.expect_done();
+        break;
+      default:
+        ctx_ = nullptr;
+        return;  // not a GWTS point-to-point message
+    }
+    if (waiting_point_.size() < kMaxWaitingMsgs) {
+      waiting_point_.push_back(std::move(msg));
+    }
+    drain_waiting();
+  } catch (const wire::WireError&) {
+    // Malformed: Byzantine; drop.
+  }
+  ctx_ = nullptr;
+}
+
+void GwtsProcess::on_rbc_deliver(NodeId origin, std::uint64_t tag,
+                                 wire::Bytes payload) {
+  try {
+    if ((tag & kAckTagBase) != 0) {
+      on_broadcast_ack(origin, std::move(payload));
+    } else {
+      on_disclosure(origin, /*round=*/tag, std::move(payload));
+    }
+  } catch (const wire::WireError&) {
+    // Byzantine payload inside a correctly delivered broadcast; drop.
+  }
+}
+
+void GwtsProcess::on_disclosure(NodeId /*origin*/, std::uint64_t round,
+                                wire::Bytes payload) {
+  wire::Decoder dec(payload);
+  if (static_cast<MsgType>(dec.u8()) != MsgType::kDisclosure) return;
+  ValueSet batch = lattice::decode_value_set(dec);
+  const std::uint64_t declared_round = dec.u64();
+  dec.expect_done();
+  if (declared_round != round) return;  // tag / payload mismatch: Byzantine
+
+  // Alg. 3 lines 16-20. The RBC tag pins (origin, round), so each origin
+  // contributes at most one batch per round (Observation 3).
+  for (const Value& v : batch) {
+    auto [it, inserted] = value_round_.try_emplace(v, round);
+    if (!inserted && round < it->second) it->second = round;
+  }
+  disclosure_counter_[round] += 1;
+  if (round <= round_ && state_ != State::kStopped) {
+    proposed_set_.merge(batch);
+  }
+
+  if (state_ == State::kDisclosing &&
+      disclosure_counter_[round_] >=
+          disclosure_threshold(config_.n, config_.f)) {
+    begin_proposing();
+  } else {
+    drain_waiting();
+  }
+}
+
+bool GwtsProcess::safe_at(const ValueSet& set, std::uint64_t round) const {
+  for (const Value& v : set) {
+    auto it = value_round_.find(v);
+    if (it == value_round_.end() || it->second > round) return false;
+  }
+  return true;
+}
+
+void GwtsProcess::on_broadcast_ack(NodeId acceptor, wire::Bytes payload) {
+  wire::Decoder dec(payload);
+  if (static_cast<MsgType>(dec.u8()) != MsgType::kGwtsAck) return;
+  PendingAck pending;
+  pending.acceptor = acceptor;
+  ValueSet set = lattice::decode_value_set(dec);
+  pending.key.round = dec.u64();
+  dec.expect_done();
+  pending.key.set_elems = set.elements();
+
+  if (waiting_acks_.size() < kMaxWaitingMsgs) {
+    waiting_acks_.push_back(std::move(pending));
+  }
+  drain_waiting();
+}
+
+void GwtsProcess::record_ack(NodeId acceptor, const AckKey& key) {
+  // Alg. 3 lines 34-36 + Alg. 4 lines 14-16: the ack joins the (shared)
+  // history; quorum appearances commit the proposal.
+  auto& supporters = ack_history_[key];
+  supporters.insert(acceptor);
+  if (supporters.size() == byz_quorum(config_.n, config_.f)) {
+    committed_by_round_[key.round].push_back(key);
+    rounds_with_commit_.insert(key.round);
+    committed_sets_.insert(key.set_elems);
+    // Alg. 4 lines 17-19: a committed proposal of round Safe_r lets the
+    // acceptor trust the next round. Chain upward in case later rounds
+    // committed while we lagged.
+    while (rounds_with_commit_.contains(safe_r_)) {
+      safe_r_ += 1;
+    }
+    check_decide();
+  }
+}
+
+void GwtsProcess::check_decide() {
+  // Alg. 3 lines 37-41: decide any proposal committed in our current
+  // round that extends our previous decision (Local Stability).
+  if (state_ != State::kProposing) return;
+  auto it = committed_by_round_.find(round_);
+  if (it == committed_by_round_.end()) return;
+  for (const AckKey& key : it->second) {
+    ValueSet set;
+    for (const Value& v : key.set_elems) set.insert(v);
+    if (!decided_set_.leq(set)) continue;
+    decided_set_ = set;
+    Decision decision{decided_set_, round_, ctx_ != nullptr ? ctx_->now() : 0.0};
+    decisions_.push_back(decision);
+    if (on_decide_) on_decide_(decisions_.back());
+    round_ += 1;
+    start_round();
+    return;
+  }
+}
+
+void GwtsProcess::drain_waiting() {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+
+    // Reliably broadcast acks become actionable once safe at their round
+    // and the acceptor trusts that round (Alg. 4 line 14).
+    for (auto it = waiting_acks_.begin(); it != waiting_acks_.end();) {
+      ValueSet set;
+      for (const Value& v : it->key.set_elems) set.insert(v);
+      if (it->key.round <= safe_r_ && safe_at(set, it->key.round)) {
+        const PendingAck pending = *it;
+        it = waiting_acks_.erase(it);
+        record_ack(pending.acceptor, pending.key);
+        progress = true;
+      } else {
+        ++it;
+      }
+    }
+
+    // Point-to-point ack requests (acceptor) and nacks (proposer).
+    for (auto it = waiting_point_.begin(); it != waiting_point_.end();) {
+      const PendingPoint& msg = *it;
+      bool consumed = false;
+      if (msg.type == MsgType::kAckReq) {
+        // Alg. 4 line 6: requires safety and round trust.
+        if (msg.round <= safe_r_ && safe_at(msg.set, msg.round)) {
+          handle_ack_req(msg);
+          consumed = true;
+        }
+      } else {  // kNack
+        if (state_ != State::kProposing) {
+          consumed = (state_ == State::kStopped);
+        } else if (msg.ts != ts_ || msg.round != round_) {
+          consumed = msg.ts < ts_ || msg.round < round_;  // stale: drop
+        } else if (safe_at(msg.set, round_)) {
+          handle_nack(msg);
+          consumed = true;
+        }
+      }
+      if (consumed) {
+        it = waiting_point_.erase(it);
+        progress = true;
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void GwtsProcess::handle_ack_req(const PendingPoint& msg) {
+  // Alg. 4 lines 6-13.
+  if (accepted_set_.leq(msg.set)) {
+    accepted_set_ = msg.set;
+    // Publish the acceptance — but only once per (set, round): a second
+    // identical RBC would add no information (the first already reached
+    // everyone) and would blow the §6.4 message bound.
+    AckKey key{accepted_set_.elements(), msg.round};
+    if (ack_broadcasts_done_.insert(key).second) {
+      wire::Encoder enc;
+      enc.u8(static_cast<std::uint8_t>(MsgType::kGwtsAck));
+      lattice::encode_value_set(enc, accepted_set_);
+      enc.u64(msg.round);
+      rbc_.broadcast(kAckTagBase | ack_tag_counter_++, enc.view());
+    }
+  } else {
+    wire::Encoder enc;
+    enc.u8(static_cast<std::uint8_t>(MsgType::kNack));
+    lattice::encode_value_set(enc, accepted_set_);
+    enc.u64(msg.ts);
+    enc.u64(msg.round);
+    ctx_->send(msg.from, enc.take());
+    accepted_set_.merge(msg.set);
+  }
+}
+
+void GwtsProcess::handle_nack(const PendingPoint& msg) {
+  // Alg. 3 lines 28-33.
+  if (!proposed_set_.would_grow_by(msg.set)) return;
+  proposed_set_.merge(msg.set);
+  ts_ += 1;
+  refinements_ += 1;
+  send_ack_req();
+}
+
+}  // namespace bla::core

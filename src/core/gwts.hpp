@@ -1,0 +1,176 @@
+#pragma once
+// GWTS — Generalized Wait Till Safe (paper §6, Algorithms 3 and 4).
+//
+// Generalized Byzantine Lattice Agreement: inputs arrive as an (in
+// principle infinite) stream, are batched per decision round, and every
+// correct process emits a non-decreasing chain of decisions that is
+// comparable across processes.
+//
+// Each round replays the WTS two-phase structure — reliable-broadcast
+// disclosure of the round's batch, then quorum-acked proposal refinement —
+// with two additions that defuse round-based Byzantine attacks:
+//
+//  * Acceptor round gating (`Safe_r`): an acceptor serves requests for
+//    round r only once it trusts r, and it trusts r only after observing a
+//    quorum-committed proposal of round r−1 ("legitimate end", Def. 3-5).
+//    A Byzantine proposer pretending to have decided cannot drag acceptors
+//    into future rounds, so it cannot clog correct proposals with
+//    never-ending nacks (Lemma 7/10).
+//
+//  * Reliably broadcast acks: acceptances are public. Any correct
+//    proposer may decide *any* proposal committed in its current round
+//    (provided its previous decision is contained — Local Stability),
+//    which is what lets processes lagging behind a committed round catch
+//    up and keeps the decision sequence live (Lemma 8).
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/common.hpp"
+#include "net/process.hpp"
+#include "rbc/bracha.hpp"
+
+namespace bla::core {
+
+struct GwtsConfig {
+  NodeId self = 0;
+  std::size_t n = 0;
+  std::size_t f = 0;
+  /// Stop starting new rounds after this many (0 = unbounded). Processes
+  /// keep serving as acceptors after exhausting the budget so peers still
+  /// make progress; simulations use this to reach quiescence.
+  std::uint64_t max_rounds = 0;
+};
+
+class GwtsProcess : public net::IProcess {
+public:
+  struct Decision {
+    ValueSet set;
+    std::uint64_t round = 0;
+    double time = 0.0;
+  };
+  /// Fired on every decision (the RSM layer hooks this).
+  using DecideFn = std::function<void(const Decision&)>;
+
+  explicit GwtsProcess(GwtsConfig config, DecideFn on_decide = nullptr);
+
+  /// The paper's new_value(v) event: enqueues v for the next round's
+  /// batch. Callable at any time (from the application or the RSM layer).
+  void submit(Value value);
+
+  void on_start(net::IContext& ctx) override;
+  void on_message(net::IContext& ctx, NodeId from,
+                  wire::BytesView payload) override;
+
+  // -- Observers -----------------------------------------------------------
+
+  [[nodiscard]] const std::vector<Decision>& decisions() const {
+    return decisions_;
+  }
+  [[nodiscard]] const ValueSet& decided_set() const { return decided_set_; }
+  [[nodiscard]] std::uint64_t current_round() const { return round_; }
+  [[nodiscard]] std::uint64_t safe_round() const { return safe_r_; }
+  [[nodiscard]] std::size_t refinement_count() const { return refinements_; }
+
+  /// True iff `set` was accepted by a Byzantine quorum (appears
+  /// ⌊(n+f)/2⌋+1 times in Ack_history for one round). This is exactly the
+  /// test the RSM confirmation plug-in (Alg. 7) performs before
+  /// acknowledging a client's read.
+  [[nodiscard]] bool is_committed(const ValueSet& set) const {
+    return committed_sets_.contains(set.elements());
+  }
+
+private:
+  enum class State { kDisclosing, kProposing, kStopped };
+
+  // Disclosure tags are round numbers; ack broadcasts get a disjoint tag
+  // space so one Bracha instance never aliases another.
+  static constexpr std::uint64_t kAckTagBase = std::uint64_t{1} << 62;
+
+  // Quorum tallies for reliably broadcast acks are keyed by (set, round).
+  // The paper's ack tuple also carries (destination, ts); dropping them
+  // from the tally key only *coarsens* the grouping — a quorum for
+  // (set, round) is still ⌊(n+f)/2⌋+1 distinct acceptors that accepted
+  // `set` in round `round`, so the Lemma 1 intersection argument is
+  // untouched, while acceptors gain the right to skip re-broadcasting an
+  // ack for a set they already published (see handle_ack_req). That
+  // dedup is what keeps the §6.4 O(f·n²)-per-proposer bound: without it,
+  // n acceptors × n proposers × O(n²) RBC frames = O(n⁴) per round.
+  struct AckKey {
+    std::vector<Value> set_elems;  // canonical (sorted) elements
+    std::uint64_t round = 0;
+    auto operator<=>(const AckKey&) const = default;
+  };
+
+  struct PendingPoint {  // buffered point-to-point ack_req / nack
+    NodeId from;
+    MsgType type;
+    ValueSet set;
+    std::uint64_t ts = 0;
+    std::uint64_t round = 0;
+  };
+
+  struct PendingAck {  // buffered reliably-broadcast ack
+    NodeId acceptor;
+    AckKey key;
+  };
+
+  /// SAFE / SAFEA: every value of `set` was disclosed in a round ≤ `round`
+  /// (the W_r = ∪_{r'≤r} SvS[r'] universe of the Non-Triviality proof).
+  [[nodiscard]] bool safe_at(const ValueSet& set, std::uint64_t round) const;
+
+  void start_round();
+  void begin_proposing();
+  void send_ack_req();
+  void on_rbc_deliver(NodeId origin, std::uint64_t tag, wire::Bytes payload);
+  void on_disclosure(NodeId origin, std::uint64_t round, wire::Bytes payload);
+  void on_broadcast_ack(NodeId acceptor, wire::Bytes payload);
+  void record_ack(NodeId acceptor, const AckKey& key);
+  void handle_ack_req(const PendingPoint& msg);
+  void handle_nack(const PendingPoint& msg);
+  void drain_waiting();
+  void check_decide();
+
+  GwtsConfig config_;
+  DecideFn on_decide_;
+  net::IContext* ctx_ = nullptr;
+  rbc::BrachaRbc rbc_;
+
+  // Proposer state (Alg. 3).
+  State state_ = State::kDisclosing;
+  std::uint64_t round_ = 0;
+  std::uint64_t ts_ = 0;
+  std::map<std::uint64_t, ValueSet> batches_;
+  ValueSet proposed_set_;
+  ValueSet decided_set_;
+  std::vector<Decision> decisions_;
+  std::size_t refinements_ = 0;
+  bool started_ = false;
+
+  // Safe-value bookkeeping: min round at which each value was disclosed,
+  // plus per-round disclosure counters.
+  std::map<Value, std::uint64_t> value_round_;
+  std::map<std::uint64_t, std::size_t> disclosure_counter_;
+
+  // Shared ack history (proposer decides from it; acceptor advances
+  // Safe_r from it).
+  std::map<AckKey, std::set<NodeId>> ack_history_;
+  std::map<std::uint64_t, std::vector<AckKey>> committed_by_round_;
+  std::set<std::uint64_t> rounds_with_commit_;
+  std::set<std::vector<Value>> committed_sets_;
+
+  // Acceptor state (Alg. 4).
+  ValueSet accepted_set_;
+  std::uint64_t safe_r_ = 0;
+  std::uint64_t ack_tag_counter_ = 0;
+  std::set<AckKey> ack_broadcasts_done_;
+
+  std::deque<PendingPoint> waiting_point_;
+  std::deque<PendingAck> waiting_acks_;
+};
+
+}  // namespace bla::core

@@ -1,0 +1,196 @@
+#include "core/wts.hpp"
+
+namespace bla::core {
+
+namespace {
+
+/// Caps buffered messages per peer: a Byzantine flooder cannot grow the
+/// waiting buffer without bound. Correct peers never need more than a few
+/// in-flight messages per timestamp.
+constexpr std::size_t kMaxWaitingMsgs = 1 << 16;
+
+}  // namespace
+
+WtsProcess::WtsProcess(WtsConfig config, Value initial_value)
+    : config_(config),
+      initial_value_(std::move(initial_value)),
+      rbc_(
+          rbc::BrachaRbc::Config{config.self, config.n, config.f},
+          [this](NodeId to, wire::Bytes bytes) {
+            ctx_->send(to, std::move(bytes));
+          },
+          [this](NodeId origin, std::uint64_t tag, wire::Bytes payload) {
+            on_rbc_deliver(origin, tag, std::move(payload));
+          }) {}
+
+void WtsProcess::on_start(net::IContext& ctx) {
+  ctx_ = &ctx;
+  // Alg. 1 lines 6-8: disclose the proposed value via reliable broadcast.
+  proposed_set_.insert(initial_value_);
+  wire::Encoder enc;
+  enc.u8(static_cast<std::uint8_t>(MsgType::kDisclosure));
+  lattice::encode_value(enc, initial_value_);
+  rbc_.broadcast(/*tag=*/0, enc.view());
+  ctx_ = nullptr;
+}
+
+void WtsProcess::on_message(net::IContext& ctx, NodeId from,
+                            wire::BytesView payload) {
+  ctx_ = &ctx;
+  try {
+    wire::Decoder dec(payload);
+    const std::uint8_t type = dec.u8();
+    if (rbc_.handle(from, type, dec)) {
+      ctx_ = nullptr;
+      return;
+    }
+    PendingMsg msg;
+    msg.from = from;
+    msg.type = static_cast<MsgType>(type);
+    switch (msg.type) {
+      case MsgType::kAckReq:
+      case MsgType::kAck:
+      case MsgType::kNack:
+        msg.set = lattice::decode_value_set(dec);
+        msg.ts = dec.u64();
+        dec.expect_done();
+        break;
+      default:
+        ctx_ = nullptr;
+        return;  // not a WTS message
+    }
+    // Alg. 1 lines 19-20 / Alg. 2 lines 3-4: buffer, then consume safe
+    // messages (possibly later, once SvS has caught up).
+    if (waiting_msgs_.size() < kMaxWaitingMsgs) {
+      waiting_msgs_.push_back(std::move(msg));
+    }
+    drain_waiting();
+  } catch (const wire::WireError&) {
+    // Malformed: necessarily Byzantine; drop.
+  }
+  ctx_ = nullptr;
+}
+
+void WtsProcess::on_rbc_deliver(NodeId /*origin*/, std::uint64_t tag,
+                                wire::Bytes payload) {
+  if (tag != 0) return;  // WTS uses a single disclosure instance per node
+  try {
+    wire::Decoder dec(payload);
+    if (static_cast<MsgType>(dec.u8()) != MsgType::kDisclosure) return;
+    Value value = lattice::decode_value(dec);
+    dec.expect_done();
+
+    // Alg. 1 lines 9-14. SvS grows regardless of state (Lemma 2 needs SvS
+    // to keep absorbing late disclosures so buffered messages eventually
+    // become safe); Proposed_set only absorbs values while disclosing.
+    svs_.insert(value);
+    init_counter_ += 1;  // RBC integrity: one delivery per origin
+    if (state_ == State::kDisclosing) {
+      proposed_set_.insert(value);
+    }
+    maybe_finish_disclosure();
+    drain_waiting();
+  } catch (const wire::WireError&) {
+    // Byzantine disclosure payload ("not an element of the lattice").
+  }
+}
+
+void WtsProcess::maybe_finish_disclosure() {
+  // Alg. 1 lines 16-18.
+  if (state_ != State::kDisclosing) return;
+  const std::size_t wait = config_.disclosure_wait_override != 0
+                               ? config_.disclosure_wait_override
+                               : disclosure_threshold(config_.n, config_.f);
+  if (init_counter_ < wait) return;
+  state_ = State::kProposing;
+  send_ack_req();
+}
+
+void WtsProcess::send_ack_req() {
+  wire::Encoder enc;
+  enc.u8(static_cast<std::uint8_t>(MsgType::kAckReq));
+  lattice::encode_value_set(enc, proposed_set_);
+  enc.u64(ts_);
+  ctx_->broadcast(enc.take());
+}
+
+void WtsProcess::drain_waiting() {
+  // Re-scan the buffer until a full pass makes no progress. Consuming one
+  // message can unblock others (e.g. a nack merge triggers a new request,
+  // making buffered acks stale and droppable).
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto it = waiting_msgs_.begin(); it != waiting_msgs_.end();) {
+      if (try_consume(*it)) {
+        it = waiting_msgs_.erase(it);
+        progress = true;
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+bool WtsProcess::try_consume(const PendingMsg& msg) {
+  if (!safe(msg.set)) return false;  // not yet safe: keep buffered
+
+  switch (msg.type) {
+    case MsgType::kAckReq:
+      handle_ack_req(msg);
+      return true;
+    case MsgType::kAck:
+      if (state_ != State::kProposing) return state_ == State::kDecided;
+      if (msg.ts != ts_) return true;  // stale: drop
+      handle_ack(msg);
+      return true;
+    case MsgType::kNack:
+      if (state_ != State::kProposing) return state_ == State::kDecided;
+      if (msg.ts != ts_) return true;  // stale: drop
+      handle_nack(msg);
+      return true;
+    default:
+      return true;
+  }
+}
+
+void WtsProcess::handle_ack_req(const PendingMsg& msg) {
+  // Alg. 2 lines 5-12 (acceptor role).
+  if (accepted_set_.leq(msg.set)) {
+    accepted_set_ = msg.set;
+    wire::Encoder enc;
+    enc.u8(static_cast<std::uint8_t>(MsgType::kAck));
+    lattice::encode_value_set(enc, accepted_set_);
+    enc.u64(msg.ts);
+    ctx_->send(msg.from, enc.take());
+  } else {
+    wire::Encoder enc;
+    enc.u8(static_cast<std::uint8_t>(MsgType::kNack));
+    lattice::encode_value_set(enc, accepted_set_);
+    enc.u64(msg.ts);
+    ctx_->send(msg.from, enc.take());
+    accepted_set_.merge(msg.set);
+  }
+}
+
+void WtsProcess::handle_ack(const PendingMsg& msg) {
+  // Alg. 1 lines 21-23 and 31-34.
+  ack_set_.insert(msg.from);
+  if (ack_set_.size() >= byz_quorum(config_.n, config_.f)) {
+    state_ = State::kDecided;
+    decision_ = proposed_set_;
+    decide_time_ = ctx_->now();
+  }
+}
+
+void WtsProcess::handle_nack(const PendingMsg& msg) {
+  // Alg. 1 lines 24-30.
+  if (!proposed_set_.would_grow_by(msg.set)) return;
+  proposed_set_.merge(msg.set);
+  ack_set_.clear();
+  ts_ += 1;
+  refinements_ += 1;
+  send_ack_req();
+}
+
+}  // namespace bla::core

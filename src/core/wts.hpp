@@ -1,0 +1,118 @@
+#pragma once
+// WTS — Wait Till Safe (paper §5, Algorithms 1 and 2).
+//
+// One-shot Byzantine Lattice Agreement for n ≥ 3f+1. Each process plays
+// both roles of the paper's presentation: proposer (proposes its input,
+// decides once) and acceptor (maintains Accepted_set, answers ack/nack).
+//
+// Phase 1 — Values Disclosure: the input value is Byzantine-reliably
+// broadcast; delivered values accumulate in the Safe-values Set (SvS).
+// A proposer moves on after n−f disclosures.
+//
+// Phase 2 — Deciding: the proposer repeatedly asks acceptors to accept
+// its Proposed_set. Acceptors ack supersets of their Accepted_set and
+// nack (with their Accepted_set) otherwise. ⌊(n+f)/2⌋+1 acks commit the
+// proposal and the proposer decides. A nack merges the acceptor's set and
+// re-proposes with a fresh timestamp; Lemma 3 bounds refinements by f.
+//
+// Safety hinge: only messages whose lattice element is ⊆ SvS ("safe"
+// messages) are processed; everything else waits in a buffer. This is
+// what stops Byzantine processes from smuggling unbounded or equivocated
+// values into decisions — they are committed to the single value the RBC
+// delivered for them.
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/common.hpp"
+#include "net/process.hpp"
+#include "rbc/bracha.hpp"
+
+namespace bla::core {
+
+struct WtsConfig {
+  NodeId self = 0;
+  std::size_t n = 0;
+  std::size_t f = 0;
+  /// Number of disclosures to await before proposing; 0 means the paper's
+  /// n−f. The A1 ablation bench lowers this to show why waiting matters
+  /// (fewer refinements, and the O(f) delay bound): the protocol stays
+  /// correct for any value ≥ 1, just slower.
+  std::size_t disclosure_wait_override = 0;
+};
+
+class WtsProcess : public net::IProcess {
+public:
+  WtsProcess(WtsConfig config, Value initial_value);
+
+  void on_start(net::IContext& ctx) override;
+  void on_message(net::IContext& ctx, NodeId from,
+                  wire::BytesView payload) override;
+
+  // -- Observers used by tests, benches, and the RSM layer ----------------
+
+  [[nodiscard]] bool has_decided() const { return decision_.has_value(); }
+  [[nodiscard]] const ValueSet& decision() const { return *decision_; }
+  /// Simulated time at which DECIDE fired (message delays under the unit
+  /// delay model — the quantity bounded by Theorem 3).
+  [[nodiscard]] double decide_time() const { return decide_time_; }
+  /// Number of executions of Alg. 1 line 30 (proposal refinements,
+  /// bounded by f per Lemma 3).
+  [[nodiscard]] std::size_t refinement_count() const { return refinements_; }
+  [[nodiscard]] const ValueSet& safe_value_set() const { return svs_; }
+  [[nodiscard]] const ValueSet& proposed_set() const { return proposed_set_; }
+  [[nodiscard]] const ValueSet& accepted_set() const { return accepted_set_; }
+
+private:
+  enum class State { kDisclosing, kProposing, kDecided };
+
+  struct PendingMsg {
+    NodeId from;
+    MsgType type;
+    ValueSet set;
+    std::uint64_t ts;
+  };
+
+  /// SAFE() predicate of Alg. 1: every value in `set` has been reliably
+  /// delivered during disclosure.
+  [[nodiscard]] bool safe(const ValueSet& set) const {
+    return set.leq(svs_);
+  }
+
+  void on_rbc_deliver(NodeId origin, std::uint64_t tag, wire::Bytes payload);
+  void drain_waiting();
+  bool try_consume(const PendingMsg& msg);
+  void handle_ack_req(const PendingMsg& msg);
+  void handle_ack(const PendingMsg& msg);
+  void handle_nack(const PendingMsg& msg);
+  void send_ack_req();
+  void maybe_finish_disclosure();
+
+  WtsConfig config_;
+  Value initial_value_;
+  State state_ = State::kDisclosing;
+
+  rbc::BrachaRbc rbc_;
+  net::IContext* ctx_ = nullptr;  // valid only inside a callback
+
+  // Proposer state (Alg. 1).
+  ValueSet proposed_set_;
+  ValueSet svs_;
+  std::size_t init_counter_ = 0;
+  std::uint64_t ts_ = 0;
+  std::set<NodeId> ack_set_;
+  std::optional<ValueSet> decision_;
+  double decide_time_ = -1.0;
+  std::size_t refinements_ = 0;
+
+  // Acceptor state (Alg. 2). SvS is shared with the proposer role, as the
+  // paper prescribes.
+  ValueSet accepted_set_;
+
+  std::deque<PendingMsg> waiting_msgs_;
+};
+
+}  // namespace bla::core

@@ -1,0 +1,513 @@
+#include "crypto/ed25519.hpp"
+
+#include <cstring>
+
+#include "crypto/sha256.hpp"
+#include "crypto/sha512.hpp"
+
+namespace bla::crypto::ed25519 {
+
+namespace {
+
+using u64 = std::uint64_t;
+// GCC/Clang extension: 128-bit intermediate products for the 51-bit-limb
+// field multiplication. Guarded from -Wpedantic; both supported compilers
+// provide it on all 64-bit targets.
+__extension__ typedef unsigned __int128 u128;
+
+// ---------------------------------------------------------------------------
+// Field arithmetic mod p = 2^255 - 19, five 51-bit limbs.
+// ---------------------------------------------------------------------------
+
+constexpr u64 kMask51 = (u64{1} << 51) - 1;
+
+struct Fe {
+  u64 v[5];
+};
+
+constexpr Fe fe_zero() { return {{0, 0, 0, 0, 0}}; }
+constexpr Fe fe_one() { return {{1, 0, 0, 0, 0}}; }
+
+// 2p in limb form, added before subtraction to keep limbs non-negative.
+constexpr u64 kTwoP0 = 0xfffffffffffdaULL;
+constexpr u64 kTwoP1234 = 0xffffffffffffeULL;
+
+// Forward declaration: add/sub normalize their results so that every Fe
+// in flight has limbs < ~2^52, which keeps the 2p bias in fe_sub safe
+// (an uncarried operand could otherwise underflow it).
+Fe fe_carry(const Fe& a);
+
+Fe fe_add(const Fe& a, const Fe& b) {
+  Fe r;
+  for (int i = 0; i < 5; ++i) r.v[i] = a.v[i] + b.v[i];
+  return fe_carry(r);
+}
+
+Fe fe_sub(const Fe& a, const Fe& b) {
+  Fe r;
+  r.v[0] = a.v[0] + kTwoP0 - b.v[0];
+  r.v[1] = a.v[1] + kTwoP1234 - b.v[1];
+  r.v[2] = a.v[2] + kTwoP1234 - b.v[2];
+  r.v[3] = a.v[3] + kTwoP1234 - b.v[3];
+  r.v[4] = a.v[4] + kTwoP1234 - b.v[4];
+  return fe_carry(r);
+}
+
+// Weak reduction: brings limbs below ~2^52 with the top carry folded back
+// as *19.
+Fe fe_carry(const Fe& a) {
+  Fe r = a;
+  u64 c;
+  c = r.v[0] >> 51; r.v[0] &= kMask51; r.v[1] += c;
+  c = r.v[1] >> 51; r.v[1] &= kMask51; r.v[2] += c;
+  c = r.v[2] >> 51; r.v[2] &= kMask51; r.v[3] += c;
+  c = r.v[3] >> 51; r.v[3] &= kMask51; r.v[4] += c;
+  c = r.v[4] >> 51; r.v[4] &= kMask51; r.v[0] += c * 19;
+  c = r.v[0] >> 51; r.v[0] &= kMask51; r.v[1] += c;
+  return r;
+}
+
+Fe fe_mul(const Fe& f, const Fe& g) {
+  const u128 f0 = f.v[0], f1 = f.v[1], f2 = f.v[2], f3 = f.v[3], f4 = f.v[4];
+  const u128 g0 = g.v[0], g1 = g.v[1], g2 = g.v[2], g3 = g.v[3], g4 = g.v[4];
+
+  u128 r0 = f0 * g0 + 19 * (f1 * g4 + f2 * g3 + f3 * g2 + f4 * g1);
+  u128 r1 = f0 * g1 + f1 * g0 + 19 * (f2 * g4 + f3 * g3 + f4 * g2);
+  u128 r2 = f0 * g2 + f1 * g1 + f2 * g0 + 19 * (f3 * g4 + f4 * g3);
+  u128 r3 = f0 * g3 + f1 * g2 + f2 * g1 + f3 * g0 + 19 * (f4 * g4);
+  u128 r4 = f0 * g4 + f1 * g3 + f2 * g2 + f3 * g1 + f4 * g0;
+
+  Fe out;
+  u128 c;
+  c = r0 >> 51; r0 &= kMask51; r1 += c;
+  c = r1 >> 51; r1 &= kMask51; r2 += c;
+  c = r2 >> 51; r2 &= kMask51; r3 += c;
+  c = r3 >> 51; r3 &= kMask51; r4 += c;
+  c = r4 >> 51; r4 &= kMask51; r0 += c * 19;
+  c = r0 >> 51; r0 &= kMask51; r1 += c;
+
+  out.v[0] = static_cast<u64>(r0);
+  out.v[1] = static_cast<u64>(r1);
+  out.v[2] = static_cast<u64>(r2);
+  out.v[3] = static_cast<u64>(r3);
+  out.v[4] = static_cast<u64>(r4);
+  return out;
+}
+
+Fe fe_sq(const Fe& f) { return fe_mul(f, f); }
+
+Fe fe_mul_small(const Fe& f, u64 s) {
+  u128 c = 0;
+  Fe r;
+  for (int i = 0; i < 5; ++i) {
+    const u128 t = static_cast<u128>(f.v[i]) * s + c;
+    r.v[i] = static_cast<u64>(t) & kMask51;
+    c = t >> 51;
+  }
+  r.v[0] += static_cast<u64>(c) * 19;
+  return fe_carry(r);
+}
+
+Fe fe_neg(const Fe& a) { return fe_carry(fe_sub(fe_zero(), a)); }
+
+// Canonical little-endian 32-byte encoding.
+void fe_tobytes(std::uint8_t out[32], const Fe& a) {
+  Fe t = fe_carry(fe_carry(a));
+  // Conditional subtract of p (t < 2p is guaranteed after carries).
+  constexpr u64 kP0 = 0x7ffffffffffedULL;
+  constexpr u64 kP1234 = 0x7ffffffffffffULL;
+  const bool ge_p =
+      (t.v[4] == kP1234 && t.v[3] == kP1234 && t.v[2] == kP1234 &&
+       t.v[1] == kP1234 && t.v[0] >= kP0);
+  if (ge_p) {
+    t.v[0] -= kP0;
+    t.v[1] = t.v[2] = t.v[3] = t.v[4] = 0;
+  }
+  // Pack 5x51 bits into 32 bytes.
+  u64 packed[4];
+  packed[0] = t.v[0] | (t.v[1] << 51);
+  packed[1] = (t.v[1] >> 13) | (t.v[2] << 38);
+  packed[2] = (t.v[2] >> 26) | (t.v[3] << 25);
+  packed[3] = (t.v[3] >> 39) | (t.v[4] << 12);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      out[8 * i + j] = static_cast<std::uint8_t>(packed[i] >> (8 * j));
+    }
+  }
+}
+
+Fe fe_frombytes(const std::uint8_t in[32]) {
+  u64 packed[4];
+  for (int i = 0; i < 4; ++i) {
+    u64 v = 0;
+    for (int j = 7; j >= 0; --j) v = (v << 8) | in[8 * i + j];
+    packed[i] = v;
+  }
+  Fe r;
+  r.v[0] = packed[0] & kMask51;
+  r.v[1] = ((packed[0] >> 51) | (packed[1] << 13)) & kMask51;
+  r.v[2] = ((packed[1] >> 38) | (packed[2] << 26)) & kMask51;
+  r.v[3] = ((packed[2] >> 25) | (packed[3] << 39)) & kMask51;
+  r.v[4] = (packed[3] >> 12) & kMask51;  // drops the sign bit (bit 255)
+  return r;
+}
+
+bool fe_iszero(const Fe& a) {
+  std::uint8_t b[32];
+  fe_tobytes(b, a);
+  std::uint8_t acc = 0;
+  for (std::uint8_t x : b) acc |= x;
+  return acc == 0;
+}
+
+bool fe_eq(const Fe& a, const Fe& b) { return fe_iszero(fe_sub(a, b)); }
+
+bool fe_isnegative(const Fe& a) {
+  std::uint8_t b[32];
+  fe_tobytes(b, a);
+  return (b[0] & 1) != 0;
+}
+
+// a^e for a little-endian byte exponent; plain square-and-multiply.
+Fe fe_pow(const Fe& a, const std::uint8_t exp[32]) {
+  Fe result = fe_one();
+  for (int bit = 255; bit >= 0; --bit) {
+    result = fe_sq(result);
+    if ((exp[bit / 8] >> (bit % 8)) & 1) result = fe_mul(result, a);
+  }
+  return result;
+}
+
+Fe fe_invert(const Fe& a) {
+  // p - 2 = 2^255 - 21.
+  std::uint8_t exp[32];
+  std::memset(exp, 0xff, 32);
+  exp[0] = 0xeb;
+  exp[31] = 0x7f;
+  return fe_pow(a, exp);
+}
+
+Fe fe_pow_p58(const Fe& a) {
+  // (p - 5) / 8 = 2^252 - 3.
+  std::uint8_t exp[32];
+  std::memset(exp, 0xff, 32);
+  exp[0] = 0xfd;
+  exp[31] = 0x0f;
+  return fe_pow(a, exp);
+}
+
+const Fe& fe_d() {
+  // d = -121665/121666 mod p.
+  static const Fe d = [] {
+    const Fe num = fe_neg({{121665, 0, 0, 0, 0}});
+    const Fe den = fe_invert({{121666, 0, 0, 0, 0}});
+    return fe_mul(num, den);
+  }();
+  return d;
+}
+
+const Fe& fe_sqrtm1() {
+  // sqrt(-1) = 2^((p-1)/4) mod p.
+  static const Fe s = [] {
+    // (p - 1) / 4 = (2^255 - 20) / 4 = 2^253 - 5.
+    std::uint8_t exp[32];
+    std::memset(exp, 0xff, 32);
+    exp[0] = 0xfb;
+    exp[31] = 0x1f;
+    return fe_pow({{2, 0, 0, 0, 0}}, exp);
+  }();
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Group: extended coordinates (X:Y:Z:T), x = X/Z, y = Y/Z, T = XY/Z.
+// ---------------------------------------------------------------------------
+
+struct Point {
+  Fe x, y, z, t;
+};
+
+Point point_identity() { return {fe_zero(), fe_one(), fe_one(), fe_zero()}; }
+
+// Complete (unified) addition for a = -1 twisted Edwards; also handles
+// doubling and the identity, which keeps the scalar ladder branch-free in
+// structure (not in time — see header note).
+Point point_add(const Point& p, const Point& q) {
+  const Fe a = fe_mul(fe_sub(p.y, p.x), fe_sub(q.y, q.x));
+  const Fe b = fe_mul(fe_add(p.y, p.x), fe_add(q.y, q.x));
+  const Fe c = fe_mul(fe_mul_small(fe_mul(p.t, q.t), 2), fe_d());
+  const Fe d = fe_mul_small(fe_mul(p.z, q.z), 2);
+  const Fe e = fe_sub(b, a);
+  const Fe f = fe_sub(d, c);
+  const Fe g = fe_add(d, c);
+  const Fe h = fe_add(b, a);
+  return {fe_mul(e, f), fe_mul(g, h), fe_mul(f, g), fe_mul(e, h)};
+}
+
+Point point_neg(const Point& p) { return {fe_neg(p.x), p.y, p.z, fe_neg(p.t)}; }
+
+// Scalar is 32 bytes little-endian; MSB-first double-and-add.
+Point point_scalar_mul(const std::uint8_t scalar[32], const Point& p) {
+  Point acc = point_identity();
+  for (int bit = 255; bit >= 0; --bit) {
+    acc = point_add(acc, acc);
+    if ((scalar[bit / 8] >> (bit % 8)) & 1) acc = point_add(acc, p);
+  }
+  return acc;
+}
+
+void point_encode(std::uint8_t out[32], const Point& p) {
+  const Fe zinv = fe_invert(p.z);
+  const Fe x = fe_mul(p.x, zinv);
+  const Fe y = fe_mul(p.y, zinv);
+  fe_tobytes(out, y);
+  if (fe_isnegative(x)) out[31] |= 0x80;
+}
+
+// Decompression (RFC 8032 §5.1.3). Returns nullopt on invalid encodings.
+std::optional<Point> point_decode(const std::uint8_t in[32]) {
+  const Fe y = fe_frombytes(in);
+  const bool sign = (in[31] & 0x80) != 0;
+
+  const Fe y2 = fe_sq(y);
+  const Fe u = fe_sub(y2, fe_one());            // y^2 - 1
+  const Fe v = fe_add(fe_mul(y2, fe_d()), fe_one());  // d*y^2 + 1
+
+  // Candidate root: x = u * v^3 * (u * v^7)^((p-5)/8).
+  const Fe v3 = fe_mul(fe_sq(v), v);
+  const Fe v7 = fe_mul(fe_sq(v3), v);
+  Fe x = fe_mul(fe_mul(u, v3), fe_pow_p58(fe_mul(u, v7)));
+
+  const Fe vxx = fe_mul(v, fe_sq(x));
+  if (!fe_eq(vxx, u)) {
+    if (fe_eq(vxx, fe_neg(u))) {
+      x = fe_mul(x, fe_sqrtm1());
+    } else {
+      return std::nullopt;  // not a point on the curve
+    }
+  }
+  if (fe_iszero(x) && sign) return std::nullopt;  // -0 is non-canonical
+  if (fe_isnegative(x) != sign) x = fe_neg(x);
+
+  Point p;
+  p.x = x;
+  p.y = y;
+  p.z = fe_one();
+  p.t = fe_mul(x, y);
+  return p;
+}
+
+const Point& base_point() {
+  static const Point b = [] {
+    // B has y = 4/5 and positive (even) x; decode its canonical encoding.
+    const Fe y = fe_mul({{4, 0, 0, 0, 0}}, fe_invert({{5, 0, 0, 0, 0}}));
+    std::uint8_t enc[32];
+    fe_tobytes(enc, y);
+    const auto p = point_decode(enc);
+    return *p;  // the base point always decodes
+  }();
+  return b;
+}
+
+// ---------------------------------------------------------------------------
+// Scalar arithmetic mod L = 2^252 + 27742317777372353535851937790883648493.
+// 512-bit little-endian limbs with shift-subtract reduction; simple and
+// obviously correct rather than fast.
+// ---------------------------------------------------------------------------
+
+using U512 = std::array<u64, 8>;
+
+constexpr U512 kOrderL = {0x5812631a5cf5d3edULL, 0x14def9dea2f79cd6ULL,
+                          0x0000000000000000ULL, 0x1000000000000000ULL,
+                          0,                     0,
+                          0,                     0};
+
+U512 u512_from_le(std::span<const std::uint8_t> bytes) {
+  U512 r{};
+  for (std::size_t i = 0; i < bytes.size() && i < 64; ++i) {
+    r[i / 8] |= static_cast<u64>(bytes[i]) << (8 * (i % 8));
+  }
+  return r;
+}
+
+U512 u512_shl(const U512& a, unsigned bits) {
+  U512 r{};
+  const unsigned words = bits / 64;
+  const unsigned rem = bits % 64;
+  for (int i = 7; i >= static_cast<int>(words); --i) {
+    u64 v = a[i - words] << rem;
+    if (rem != 0 && i - static_cast<int>(words) - 1 >= 0) {
+      v |= a[i - words - 1] >> (64 - rem);
+    }
+    r[i] = v;
+  }
+  return r;
+}
+
+int u512_cmp(const U512& a, const U512& b) {
+  for (int i = 7; i >= 0; --i) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+void u512_sub_inplace(U512& a, const U512& b) {
+  u64 borrow = 0;
+  for (int i = 0; i < 8; ++i) {
+    const u64 bi = b[i] + borrow;
+    borrow = (bi < b[i]) || (a[i] < bi) ? 1 : 0;
+    a[i] -= bi;
+  }
+}
+
+void u512_add_inplace(U512& a, const U512& b) {
+  u64 carry = 0;
+  for (int i = 0; i < 8; ++i) {
+    const u64 s = a[i] + b[i];
+    const u64 s2 = s + carry;
+    carry = (s < a[i]) || (s2 < s) ? 1 : 0;
+    a[i] = s2;
+  }
+}
+
+U512 u512_mul_256(const U512& a, const U512& b) {
+  // Schoolbook on the low four limbs of each operand.
+  U512 r{};
+  for (int i = 0; i < 4; ++i) {
+    u128 carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      carry += static_cast<u128>(a[i]) * b[j] + r[i + j];
+      r[i + j] = static_cast<u64>(carry);
+      carry >>= 64;
+    }
+    r[i + 4] = static_cast<u64>(carry);
+  }
+  return r;
+}
+
+// Reduce mod L; the result fits the low four limbs.
+U512 u512_mod_l(U512 x) {
+  // L has 253 significant bits; x has at most 512.
+  for (int shift = 512 - 253; shift >= 0; --shift) {
+    const U512 shifted = u512_shl(kOrderL, static_cast<unsigned>(shift));
+    if (u512_cmp(x, shifted) >= 0) u512_sub_inplace(x, shifted);
+  }
+  return x;
+}
+
+void u512_to_le32(std::uint8_t out[32], const U512& a) {
+  for (int i = 0; i < 32; ++i) {
+    out[i] = static_cast<std::uint8_t>(a[i / 8] >> (8 * (i % 8)));
+  }
+}
+
+bool scalar_is_canonical(const std::uint8_t s[32]) {
+  const U512 v = u512_from_le(std::span(s, 32));
+  return u512_cmp(v, kOrderL) < 0;
+}
+
+// ---------------------------------------------------------------------------
+// RFC 8032 sign/verify.
+// ---------------------------------------------------------------------------
+
+struct ExpandedKey {
+  std::uint8_t scalar[32];  // clamped secret scalar a
+  std::uint8_t prefix[32];  // nonce prefix
+};
+
+ExpandedKey expand_seed(const Seed& seed) {
+  const Sha512::Digest h = Sha512::hash(std::span(seed.data(), seed.size()));
+  ExpandedKey k{};
+  std::memcpy(k.scalar, h.data(), 32);
+  std::memcpy(k.prefix, h.data() + 32, 32);
+  k.scalar[0] &= 0xf8;
+  k.scalar[31] &= 0x7f;
+  k.scalar[31] |= 0x40;
+  return k;
+}
+
+}  // namespace
+
+Keypair keypair_from_seed(const Seed& seed) {
+  const ExpandedKey k = expand_seed(seed);
+  const Point a = point_scalar_mul(k.scalar, base_point());
+  Keypair kp;
+  kp.seed = seed;
+  point_encode(kp.public_key.data(), a);
+  return kp;
+}
+
+Keypair keypair_from_label(std::uint64_t label) {
+  wire::Encoder enc;
+  enc.str("latticebft-ed25519-seed");
+  enc.u64(label);
+  const Sha256::Digest d = Sha256::hash(std::span(enc.view()));
+  Seed seed{};
+  std::memcpy(seed.data(), d.data(), seed.size());
+  return keypair_from_seed(seed);
+}
+
+Signature sign(const Keypair& kp, std::span<const std::uint8_t> message) {
+  const ExpandedKey k = expand_seed(kp.seed);
+
+  // r = SHA-512(prefix || M) mod L.
+  Sha512 hr;
+  hr.update(std::span(k.prefix, 32));
+  hr.update(message);
+  const Sha512::Digest hr_digest = hr.finish();
+  const U512 r = u512_mod_l(u512_from_le(hr_digest));
+  std::uint8_t r_bytes[32];
+  u512_to_le32(r_bytes, r);
+
+  // R = [r]B.
+  const Point r_point = point_scalar_mul(r_bytes, base_point());
+  Signature sig{};
+  point_encode(sig.data(), r_point);
+
+  // k = SHA-512(R || A || M) mod L.
+  Sha512 hk;
+  hk.update(std::span(sig.data(), 32));
+  hk.update(std::span(kp.public_key.data(), 32));
+  hk.update(message);
+  const Sha512::Digest hk_digest = hk.finish();
+  const U512 challenge = u512_mod_l(u512_from_le(hk_digest));
+
+  // S = (r + k*a) mod L.
+  const U512 a = u512_from_le(std::span(k.scalar, 32));
+  U512 s = u512_mul_256(challenge, a);
+  s = u512_mod_l(s);
+  u512_add_inplace(s, r);
+  s = u512_mod_l(s);
+  u512_to_le32(sig.data() + 32, s);
+  return sig;
+}
+
+bool verify(const PublicKey& pub, std::span<const std::uint8_t> message,
+            const Signature& sig) {
+  if (!scalar_is_canonical(sig.data() + 32)) return false;
+  const auto a_point = point_decode(pub.data());
+  if (!a_point.has_value()) return false;
+  const auto r_point = point_decode(sig.data());
+  if (!r_point.has_value()) return false;
+
+  Sha512 hk;
+  hk.update(std::span(sig.data(), 32));
+  hk.update(std::span(pub.data(), 32));
+  hk.update(message);
+  const Sha512::Digest hk_digest = hk.finish();
+  const U512 challenge = u512_mod_l(u512_from_le(hk_digest));
+  std::uint8_t k_bytes[32];
+  u512_to_le32(k_bytes, challenge);
+
+  // Check [S]B == R + [k]A  <=>  [S]B + [k](-A) == R.
+  const Point sb =
+      point_scalar_mul(sig.data() + 32, base_point());
+  const Point ka = point_scalar_mul(k_bytes, point_neg(*a_point));
+  const Point check = point_add(sb, ka);
+
+  std::uint8_t check_enc[32];
+  point_encode(check_enc, check);
+  return std::memcmp(check_enc, sig.data(), 32) == 0;
+}
+
+}  // namespace bla::crypto::ed25519

@@ -1,0 +1,53 @@
+#pragma once
+// Ed25519 signatures (RFC 8032), implemented from scratch:
+//  * field arithmetic mod p = 2^255 - 19 (five 51-bit limbs, __int128 mul)
+//  * twisted Edwards group in extended coordinates with the complete
+//    (unified) addition law, so doubling needs no special case
+//  * scalar arithmetic mod the group order L via a small 512-bit integer
+//    with shift-subtract reduction
+//
+// Scope note: this is research-grade crypto for the SbS protocol (§8 of
+// the paper). It is *correct* (validated against the RFC 8032 test vectors
+// in tests/crypto_ed25519_test.cpp) but variable-time; do not reuse it
+// where timing side channels matter.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "wire/wire.hpp"
+
+namespace bla::crypto::ed25519 {
+
+inline constexpr std::size_t kSeedSize = 32;
+inline constexpr std::size_t kPublicKeySize = 32;
+inline constexpr std::size_t kSignatureSize = 64;
+
+using Seed = std::array<std::uint8_t, kSeedSize>;
+using PublicKey = std::array<std::uint8_t, kPublicKeySize>;
+using Signature = std::array<std::uint8_t, kSignatureSize>;
+
+struct Keypair {
+  Seed seed{};
+  PublicKey public_key{};
+};
+
+/// Derives the public key for a 32-byte seed (RFC 8032 §5.1.5).
+[[nodiscard]] Keypair keypair_from_seed(const Seed& seed);
+
+/// Deterministic keypair for tests/simulations (seed = SHA-256(label)).
+[[nodiscard]] Keypair keypair_from_label(std::uint64_t label);
+
+/// Signs `message` (RFC 8032 §5.1.6).
+[[nodiscard]] Signature sign(const Keypair& kp,
+                             std::span<const std::uint8_t> message);
+
+/// Verifies; returns false on any malformed input (bad point encoding,
+/// non-canonical scalar, wrong curve) rather than throwing — Byzantine
+/// peers feed this function arbitrary bytes.
+[[nodiscard]] bool verify(const PublicKey& pub,
+                          std::span<const std::uint8_t> message,
+                          const Signature& sig);
+
+}  // namespace bla::crypto::ed25519

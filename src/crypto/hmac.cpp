@@ -1,0 +1,43 @@
+#include "crypto/hmac.hpp"
+
+#include <cstring>
+
+namespace bla::crypto {
+
+Mac hmac_sha256(std::span<const std::uint8_t> key,
+                std::span<const std::uint8_t> message) {
+  constexpr std::size_t kBlockSize = 64;
+  std::array<std::uint8_t, kBlockSize> key_block{};
+
+  if (key.size() > kBlockSize) {
+    const Sha256::Digest d = Sha256::hash(key);
+    std::memcpy(key_block.data(), d.data(), d.size());
+  } else {
+    std::memcpy(key_block.data(), key.data(), key.size());
+  }
+
+  std::array<std::uint8_t, kBlockSize> ipad{};
+  std::array<std::uint8_t, kBlockSize> opad{};
+  for (std::size_t i = 0; i < kBlockSize; ++i) {
+    ipad[i] = key_block[i] ^ 0x36;
+    opad[i] = key_block[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(message);
+  const Sha256::Digest inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest);
+  return outer.finish();
+}
+
+bool mac_equal(const Mac& a, const Mac& b) {
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+}  // namespace bla::crypto

@@ -1,0 +1,47 @@
+#pragma once
+// SHA-512 (FIPS 180-4). Required by Ed25519 (RFC 8032 uses SHA-512 for
+// nonce derivation and the Fiat–Shamir challenge).
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace bla::crypto {
+
+class Sha512 {
+public:
+  static constexpr std::size_t kDigestSize = 64;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha512() { reset(); }
+
+  void reset();
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view s) {
+    update(std::span(reinterpret_cast<const std::uint8_t*>(s.data()),
+                     s.size()));
+  }
+  [[nodiscard]] Digest finish();
+
+  [[nodiscard]] static Digest hash(std::span<const std::uint8_t> data) {
+    Sha512 h;
+    h.update(data);
+    return h.finish();
+  }
+  [[nodiscard]] static Digest hash(std::string_view s) {
+    Sha512 h;
+    h.update(s);
+    return h.finish();
+  }
+
+private:
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint64_t, 8> state_{};
+  std::array<std::uint8_t, 128> buffer_{};
+  std::uint64_t total_len_ = 0;  // bytes; messages < 2^64 bytes suffice here
+  std::size_t buffer_len_ = 0;
+};
+
+}  // namespace bla::crypto

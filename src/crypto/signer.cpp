@@ -1,0 +1,147 @@
+#include "crypto/signer.hpp"
+
+#include <cstring>
+
+#include "crypto/sha256.hpp"
+
+namespace bla::crypto {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Ed25519-backed signer set.
+// ---------------------------------------------------------------------------
+
+class Ed25519SignerSet;
+
+class Ed25519Signer final : public ISigner {
+public:
+  Ed25519Signer(NodeId id, ed25519::Keypair kp,
+                std::shared_ptr<const std::vector<ed25519::PublicKey>> pubs)
+      : id_(id), keypair_(kp), public_keys_(std::move(pubs)) {}
+
+  [[nodiscard]] NodeId id() const override { return id_; }
+
+  [[nodiscard]] wire::Bytes sign(wire::BytesView message) const override {
+    const ed25519::Signature sig = ed25519::sign(keypair_, message);
+    return wire::Bytes(sig.begin(), sig.end());
+  }
+
+  [[nodiscard]] bool verify(NodeId signer, wire::BytesView message,
+                            wire::BytesView signature) const override {
+    if (signer >= public_keys_->size()) return false;
+    if (signature.size() != ed25519::kSignatureSize) return false;
+    ed25519::Signature sig{};
+    std::memcpy(sig.data(), signature.data(), sig.size());
+    return ed25519::verify((*public_keys_)[signer], message, sig);
+  }
+
+private:
+  NodeId id_;
+  ed25519::Keypair keypair_;
+  std::shared_ptr<const std::vector<ed25519::PublicKey>> public_keys_;
+};
+
+class Ed25519SignerSet final : public ISignerSet {
+public:
+  Ed25519SignerSet(std::size_t n, std::uint64_t system_seed) {
+    auto pubs = std::make_shared<std::vector<ed25519::PublicKey>>();
+    std::vector<ed25519::Keypair> keypairs;
+    keypairs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      keypairs.push_back(ed25519::keypair_from_label(
+          (system_seed << 20) ^ static_cast<std::uint64_t>(i)));
+      pubs->push_back(keypairs.back().public_key);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      signers_.push_back(std::make_shared<Ed25519Signer>(
+          static_cast<NodeId>(i), keypairs[i], pubs));
+    }
+  }
+
+  [[nodiscard]] std::shared_ptr<const ISigner> signer_for(
+      NodeId node) const override {
+    return signers_.at(node);
+  }
+  [[nodiscard]] std::size_t size() const override { return signers_.size(); }
+
+private:
+  std::vector<std::shared_ptr<const ISigner>> signers_;
+};
+
+// ---------------------------------------------------------------------------
+// HMAC-oracle simulation signer set.
+// ---------------------------------------------------------------------------
+
+using Secret = std::array<std::uint8_t, 32>;
+
+class HmacSigner final : public ISigner {
+public:
+  HmacSigner(NodeId id, std::shared_ptr<const std::vector<Secret>> secrets)
+      : id_(id), secrets_(std::move(secrets)) {}
+
+  [[nodiscard]] NodeId id() const override { return id_; }
+
+  [[nodiscard]] wire::Bytes sign(wire::BytesView message) const override {
+    const Mac mac = hmac_sha256((*secrets_)[id_], message);
+    return wire::Bytes(mac.begin(), mac.end());
+  }
+
+  [[nodiscard]] bool verify(NodeId signer, wire::BytesView message,
+                            wire::BytesView signature) const override {
+    if (signer >= secrets_->size()) return false;
+    if (signature.size() != sizeof(Mac)) return false;
+    const Mac expected = hmac_sha256((*secrets_)[signer], message);
+    Mac got{};
+    std::memcpy(got.data(), signature.data(), got.size());
+    return mac_equal(expected, got);
+  }
+
+private:
+  NodeId id_;
+  std::shared_ptr<const std::vector<Secret>> secrets_;
+};
+
+class HmacSignerSet final : public ISignerSet {
+public:
+  HmacSignerSet(std::size_t n, std::uint64_t system_seed) {
+    auto secrets = std::make_shared<std::vector<Secret>>();
+    for (std::size_t i = 0; i < n; ++i) {
+      wire::Encoder enc;
+      enc.str("latticebft-hmac-secret");
+      enc.u64(system_seed);
+      enc.u64(i);
+      const Sha256::Digest d = Sha256::hash(std::span(enc.view()));
+      Secret s{};
+      std::memcpy(s.data(), d.data(), s.size());
+      secrets->push_back(s);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      signers_.push_back(
+          std::make_shared<HmacSigner>(static_cast<NodeId>(i), secrets));
+    }
+  }
+
+  [[nodiscard]] std::shared_ptr<const ISigner> signer_for(
+      NodeId node) const override {
+    return signers_.at(node);
+  }
+  [[nodiscard]] std::size_t size() const override { return signers_.size(); }
+
+private:
+  std::vector<std::shared_ptr<const ISigner>> signers_;
+};
+
+}  // namespace
+
+std::shared_ptr<ISignerSet> make_ed25519_signer_set(std::size_t n,
+                                                    std::uint64_t system_seed) {
+  return std::make_shared<Ed25519SignerSet>(n, system_seed);
+}
+
+std::shared_ptr<ISignerSet> make_hmac_signer_set(std::size_t n,
+                                                 std::uint64_t system_seed) {
+  return std::make_shared<HmacSignerSet>(n, system_seed);
+}
+
+}  // namespace bla::crypto

@@ -1,0 +1,60 @@
+#pragma once
+// Signature-scheme abstraction for the SbS / GSbS protocols (paper §8).
+//
+// Two interchangeable implementations:
+//  * Ed25519Scheme — real public-key signatures (RFC 8032), the faithful
+//    realization of the paper's PKI assumption;
+//  * HmacScheme — a simulation scheme where sig = HMAC(secret_i, msg) and
+//    the verifier holds every node's secret (a trusted oracle). Inside the
+//    simulator this preserves the *contract* the protocols rely on —
+//    Byzantine processes cannot produce a signature attributable to a
+//    correct process, because process code never reads other nodes'
+//    secrets — at a fraction of Ed25519's cost, which matters for the big
+//    parameter sweeps. DESIGN.md records this substitution.
+//
+// A SignerSet hands each node its private signing handle while verification
+// is global, mirroring a PKI where all public keys are pre-distributed.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "crypto/ed25519.hpp"
+#include "crypto/hmac.hpp"
+#include "wire/wire.hpp"
+
+namespace bla::crypto {
+
+using NodeId = std::uint32_t;
+
+/// Per-node signing handle. Sign with *my* key; verify against any node's
+/// public key.
+class ISigner {
+public:
+  virtual ~ISigner() = default;
+
+  [[nodiscard]] virtual NodeId id() const = 0;
+  [[nodiscard]] virtual wire::Bytes sign(wire::BytesView message) const = 0;
+  [[nodiscard]] virtual bool verify(NodeId signer, wire::BytesView message,
+                                    wire::BytesView signature) const = 0;
+};
+
+/// Factory for a system of n nodes' signers.
+class ISignerSet {
+public:
+  virtual ~ISignerSet() = default;
+  [[nodiscard]] virtual std::shared_ptr<const ISigner> signer_for(
+      NodeId node) const = 0;
+  [[nodiscard]] virtual std::size_t size() const = 0;
+};
+
+/// Real Ed25519: one deterministic keypair per node (seeded from the node
+/// id and a system label so runs are reproducible).
+[[nodiscard]] std::shared_ptr<ISignerSet> make_ed25519_signer_set(
+    std::size_t n, std::uint64_t system_seed = 0);
+
+/// HMAC-oracle simulation scheme (see file comment).
+[[nodiscard]] std::shared_ptr<ISignerSet> make_hmac_signer_set(
+    std::size_t n, std::uint64_t system_seed = 0);
+
+}  // namespace bla::crypto

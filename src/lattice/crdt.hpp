@@ -1,0 +1,183 @@
+#pragma once
+// State-based CRDTs built on the lattice library.
+//
+// The paper's motivation (§1, §7) is that Generalized Lattice Agreement
+// turns commutative replicated data types into a *linearizable* RSM in an
+// asynchronous Byzantine system. These CRDTs are what the RSM layer and
+// the examples materialize out of the agreed command sets.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "lattice/lattice.hpp"
+#include "lattice/set_lattice.hpp"
+
+namespace bla::lattice {
+
+/// Grow-only set. add() commutes with add(); join = union.
+template <typename T>
+class GSet {
+public:
+  void add(const T& v) { set_.insert(v); }
+  [[nodiscard]] bool contains(const T& v) const { return set_.contains(v); }
+  [[nodiscard]] std::size_t size() const { return set_.size(); }
+
+  void merge(const GSet& other) { set_.merge(other.set_); }
+  [[nodiscard]] bool leq(const GSet& other) const {
+    return set_.leq(other.set_);
+  }
+  [[nodiscard]] const SetLattice<T>& entries() const { return set_; }
+
+  friend bool operator==(const GSet&, const GSet&) = default;
+
+private:
+  SetLattice<T> set_;
+};
+
+/// Grow-only counter: per-node contribution, value = sum of maxima.
+class GCounter {
+public:
+  using NodeId = std::uint32_t;
+
+  void increment(NodeId node, std::uint64_t by = 1) {
+    contributions_.update(node, MaxLattice<std::uint64_t>(
+                                    contributions_value(node) + by));
+  }
+
+  [[nodiscard]] std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const auto& [node, v] : contributions_) total += v.value();
+    return total;
+  }
+
+  void merge(const GCounter& other) {
+    contributions_.merge(other.contributions_);
+  }
+  [[nodiscard]] bool leq(const GCounter& other) const {
+    return contributions_.leq(other.contributions_);
+  }
+
+  friend bool operator==(const GCounter&, const GCounter&) = default;
+
+private:
+  [[nodiscard]] std::uint64_t contributions_value(NodeId node) const {
+    const auto* v = contributions_.find(node);
+    return v == nullptr ? 0 : v->value();
+  }
+
+  MapLattice<NodeId, MaxLattice<std::uint64_t>> contributions_;
+};
+
+/// Increment/decrement counter as a product of two GCounters.
+class PNCounter {
+public:
+  using NodeId = std::uint32_t;
+
+  void increment(NodeId node, std::uint64_t by = 1) {
+    positive_.increment(node, by);
+  }
+  void decrement(NodeId node, std::uint64_t by = 1) {
+    negative_.increment(node, by);
+  }
+
+  [[nodiscard]] std::int64_t value() const {
+    return static_cast<std::int64_t>(positive_.value()) -
+           static_cast<std::int64_t>(negative_.value());
+  }
+
+  void merge(const PNCounter& other) {
+    positive_.merge(other.positive_);
+    negative_.merge(other.negative_);
+  }
+  [[nodiscard]] bool leq(const PNCounter& other) const {
+    return positive_.leq(other.positive_) && negative_.leq(other.negative_);
+  }
+
+  friend bool operator==(const PNCounter&, const PNCounter&) = default;
+
+private:
+  GCounter positive_;
+  GCounter negative_;
+};
+
+/// Two-phase set: adds and removes are both grow-only; an element is
+/// present iff added and never removed. remove() wins over a concurrent
+/// add() of the same element.
+template <typename T>
+class TwoPhaseSet {
+public:
+  void add(const T& v) { added_.add(v); }
+  void remove(const T& v) { removed_.add(v); }
+
+  [[nodiscard]] bool contains(const T& v) const {
+    return added_.contains(v) && !removed_.contains(v);
+  }
+  [[nodiscard]] std::size_t size() const {
+    std::size_t count = 0;
+    for (const T& v : added_.entries()) {
+      if (!removed_.contains(v)) ++count;
+    }
+    return count;
+  }
+
+  void merge(const TwoPhaseSet& other) {
+    added_.merge(other.added_);
+    removed_.merge(other.removed_);
+  }
+  [[nodiscard]] bool leq(const TwoPhaseSet& other) const {
+    return added_.leq(other.added_) && removed_.leq(other.removed_);
+  }
+
+  friend bool operator==(const TwoPhaseSet&, const TwoPhaseSet&) = default;
+
+private:
+  GSet<T> added_;
+  GSet<T> removed_;
+};
+
+/// Last-writer-wins register: (timestamp, tiebreak, value) under max.
+/// Writes commute because the merged state depends only on the set of
+/// writes, not their arrival order.
+template <typename T>
+class LwwRegister {
+public:
+  using NodeId = std::uint32_t;
+
+  void write(std::uint64_t timestamp, NodeId writer, T v) {
+    if (std::pair(timestamp, writer) >= std::pair(ts_, writer_)) {
+      ts_ = timestamp;
+      writer_ = writer;
+      value_ = std::move(v);
+    }
+  }
+
+  [[nodiscard]] const std::optional<T>& read() const { return value_; }
+  [[nodiscard]] std::uint64_t timestamp() const { return ts_; }
+
+  void merge(const LwwRegister& other) {
+    if (other.value_.has_value()) {
+      if (!value_.has_value() ||
+          std::pair(other.ts_, other.writer_) > std::pair(ts_, writer_)) {
+        ts_ = other.ts_;
+        writer_ = other.writer_;
+        value_ = other.value_;
+      }
+    }
+  }
+  [[nodiscard]] bool leq(const LwwRegister& other) const {
+    if (!value_.has_value()) return true;
+    if (!other.value_.has_value()) return false;
+    return std::pair(ts_, writer_) <= std::pair(other.ts_, other.writer_);
+  }
+
+  friend bool operator==(const LwwRegister&, const LwwRegister&) = default;
+
+private:
+  std::uint64_t ts_ = 0;
+  NodeId writer_ = 0;
+  std::optional<T> value_;
+};
+
+}  // namespace bla::lattice

@@ -1,0 +1,192 @@
+#pragma once
+// Join-semilattice concept and generic lattice building blocks.
+//
+// A join semilattice L = (V, ⊕) is a partially ordered set where every
+// pair of elements has a least upper bound (join). The protocols in this
+// repository (paper §3) run on the power-set lattice (set_lattice.hpp);
+// the generic lattices here are used by the RSM materialization layer,
+// the CRDT library, and the examples.
+
+#include <algorithm>
+#include <concepts>
+#include <cstdint>
+#include <map>
+#include <utility>
+
+namespace bla::lattice {
+
+/// A type models JoinSemilattice if it supports an in-place join (`merge`),
+/// the induced partial order (`leq`: a ≤ b iff a ⊕ b == b), and equality.
+template <typename L>
+concept JoinSemilattice = requires(L a, const L& b) {
+  { a.merge(b) } -> std::same_as<void>;
+  { std::as_const(a).leq(b) } -> std::convertible_to<bool>;
+  { std::as_const(a) == b } -> std::convertible_to<bool>;
+};
+
+/// Free-function join: returns a ⊕ b without mutating either input.
+template <JoinSemilattice L>
+[[nodiscard]] L join(const L& a, const L& b) {
+  L out = a;
+  out.merge(b);
+  return out;
+}
+
+/// True iff a and b are comparable in the lattice order (a ≤ b or b ≤ a).
+/// The Comparability property of Byzantine Lattice Agreement states that
+/// the decisions of any two correct processes satisfy this predicate.
+template <JoinSemilattice L>
+[[nodiscard]] bool comparable(const L& a, const L& b) {
+  return a.leq(b) || b.leq(a);
+}
+
+/// Total-order lattice over any totally ordered value: join = max.
+template <typename T>
+  requires std::totally_ordered<T>
+class MaxLattice {
+public:
+  MaxLattice() = default;
+  explicit MaxLattice(T v) : value_(std::move(v)) {}
+
+  void merge(const MaxLattice& other) {
+    if (value_ < other.value_) value_ = other.value_;
+  }
+  [[nodiscard]] bool leq(const MaxLattice& other) const {
+    return value_ <= other.value_;
+  }
+  [[nodiscard]] const T& value() const { return value_; }
+
+  friend bool operator==(const MaxLattice&, const MaxLattice&) = default;
+
+private:
+  T value_{};
+};
+
+/// Dual of MaxLattice: join = min (still a join semilattice, with the
+/// order reversed).
+template <typename T>
+  requires std::totally_ordered<T>
+class MinLattice {
+public:
+  MinLattice() = default;
+  explicit MinLattice(T v) : value_(std::move(v)) {}
+
+  void merge(const MinLattice& other) {
+    if (other.value_ < value_) value_ = other.value_;
+  }
+  [[nodiscard]] bool leq(const MinLattice& other) const {
+    return other.value_ <= value_;
+  }
+  [[nodiscard]] const T& value() const { return value_; }
+
+  friend bool operator==(const MinLattice&, const MinLattice&) = default;
+
+private:
+  T value_{};
+};
+
+/// Product lattice: component-wise join and order.
+template <JoinSemilattice A, JoinSemilattice B>
+class PairLattice {
+public:
+  PairLattice() = default;
+  PairLattice(A a, B b) : first_(std::move(a)), second_(std::move(b)) {}
+
+  void merge(const PairLattice& other) {
+    first_.merge(other.first_);
+    second_.merge(other.second_);
+  }
+  [[nodiscard]] bool leq(const PairLattice& other) const {
+    return first_.leq(other.first_) && second_.leq(other.second_);
+  }
+  [[nodiscard]] const A& first() const { return first_; }
+  [[nodiscard]] const B& second() const { return second_; }
+  [[nodiscard]] A& first() { return first_; }
+  [[nodiscard]] B& second() { return second_; }
+
+  friend bool operator==(const PairLattice&, const PairLattice&) = default;
+
+private:
+  A first_{};
+  B second_{};
+};
+
+/// Map lattice: pointwise join over a partial map; an absent key is the
+/// lattice bottom of the value type.
+template <typename K, JoinSemilattice V>
+class MapLattice {
+public:
+  MapLattice() = default;
+
+  /// Joins `v` into the slot for `key`.
+  void update(const K& key, const V& v) {
+    auto [it, inserted] = entries_.try_emplace(key, v);
+    if (!inserted) it->second.merge(v);
+  }
+
+  void merge(const MapLattice& other) {
+    for (const auto& [k, v] : other.entries_) update(k, v);
+  }
+
+  [[nodiscard]] bool leq(const MapLattice& other) const {
+    for (const auto& [k, v] : entries_) {
+      auto it = other.entries_.find(k);
+      if (it == other.entries_.end() || !v.leq(it->second)) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] const V* find(const K& key) const {
+    auto it = entries_.find(key);
+    return it == entries_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] auto begin() const { return entries_.begin(); }
+  [[nodiscard]] auto end() const { return entries_.end(); }
+
+  friend bool operator==(const MapLattice&, const MapLattice&) = default;
+
+private:
+  std::map<K, V> entries_;
+};
+
+/// Version vector: node id -> max counter. The classic causality lattice.
+class VersionVector {
+public:
+  using NodeId = std::uint32_t;
+
+  void bump(NodeId node) { ++clock_[node]; }
+  void set(NodeId node, std::uint64_t v) {
+    // Zero entries are never materialized: an absent slot *is* zero, and
+    // keeping the representation canonical is what makes equality agree
+    // with the lattice order (a ≤ b ∧ b ≤ a ⟺ a == b).
+    if (v == 0) return;
+    auto& slot = clock_[node];
+    slot = std::max(slot, v);
+  }
+  [[nodiscard]] std::uint64_t get(NodeId node) const {
+    auto it = clock_.find(node);
+    return it == clock_.end() ? 0 : it->second;
+  }
+
+  void merge(const VersionVector& other) {
+    for (const auto& [node, v] : other.clock_) set(node, v);
+  }
+
+  [[nodiscard]] bool leq(const VersionVector& other) const {
+    return std::all_of(clock_.begin(), clock_.end(), [&](const auto& kv) {
+      return kv.second <= other.get(kv.first);
+    });
+  }
+
+  [[nodiscard]] std::size_t size() const { return clock_.size(); }
+  [[nodiscard]] auto begin() const { return clock_.begin(); }
+  [[nodiscard]] auto end() const { return clock_.end(); }
+
+  friend bool operator==(const VersionVector&, const VersionVector&) = default;
+
+private:
+  std::map<NodeId, std::uint64_t> clock_;
+};
+
+}  // namespace bla::lattice

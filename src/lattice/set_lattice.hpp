@@ -1,0 +1,95 @@
+#pragma once
+// The power-set join semilattice: sets under union, ordered by inclusion.
+//
+// This is the lattice every protocol in the paper runs on (§3 notes that
+// any join semilattice is isomorphic to a lattice of sets with union as
+// join, so running on sets is without loss of generality).
+//
+// Representation: a sorted, duplicate-free flat vector. Joins are linear
+// merges; subset tests are linear scans. Flat storage keeps elements
+// contiguous (cache-friendly — these sets are merged millions of times in
+// the simulator sweeps) and gives a canonical, deterministic serialization
+// order, which matters because SbS signs serialized sets.
+
+#include <algorithm>
+#include <initializer_list>
+#include <vector>
+
+namespace bla::lattice {
+
+template <typename T>
+class SetLattice {
+public:
+  using value_type = T;
+  using const_iterator = typename std::vector<T>::const_iterator;
+
+  SetLattice() = default;
+  SetLattice(std::initializer_list<T> init) {
+    for (const T& v : init) insert(v);
+  }
+
+  /// Inserts one element; returns true if the set grew.
+  bool insert(const T& v) {
+    auto it = std::lower_bound(elems_.begin(), elems_.end(), v);
+    if (it != elems_.end() && *it == v) return false;
+    elems_.insert(it, v);
+    return true;
+  }
+
+  [[nodiscard]] bool contains(const T& v) const {
+    return std::binary_search(elems_.begin(), elems_.end(), v);
+  }
+
+  /// In-place union (the lattice join). Linear-time merge.
+  void merge(const SetLattice& other) {
+    if (other.elems_.empty()) return;
+    if (elems_.empty()) {
+      elems_ = other.elems_;
+      return;
+    }
+    std::vector<T> out;
+    out.reserve(elems_.size() + other.elems_.size());
+    std::set_union(elems_.begin(), elems_.end(), other.elems_.begin(),
+                   other.elems_.end(), std::back_inserter(out));
+    elems_ = std::move(out);
+  }
+
+  /// Inclusion test (the lattice order): *this ⊆ other.
+  [[nodiscard]] bool leq(const SetLattice& other) const {
+    return std::includes(other.elems_.begin(), other.elems_.end(),
+                         elems_.begin(), elems_.end());
+  }
+
+  /// True iff merging `other` would change this set (i.e. !(other ≤ this)).
+  /// WTS proposers use this to decide whether a nack refines the proposal.
+  [[nodiscard]] bool would_grow_by(const SetLattice& other) const {
+    return !other.leq(*this);
+  }
+
+  [[nodiscard]] std::size_t size() const { return elems_.size(); }
+  [[nodiscard]] bool empty() const { return elems_.empty(); }
+  [[nodiscard]] const_iterator begin() const { return elems_.begin(); }
+  [[nodiscard]] const_iterator end() const { return elems_.end(); }
+  [[nodiscard]] const std::vector<T>& elements() const { return elems_; }
+
+  void clear() { elems_.clear(); }
+
+  friend bool operator==(const SetLattice&, const SetLattice&) = default;
+
+private:
+  std::vector<T> elems_;  // sorted, unique
+};
+
+/// Set difference helper: elements of a not in b (used by tests/benches to
+/// report which values a decision is missing).
+template <typename T>
+[[nodiscard]] SetLattice<T> set_minus(const SetLattice<T>& a,
+                                      const SetLattice<T>& b) {
+  SetLattice<T> out;
+  for (const T& v : a) {
+    if (!b.contains(v)) out.insert(v);
+  }
+  return out;
+}
+
+}  // namespace bla::lattice

@@ -1,0 +1,74 @@
+#pragma once
+// Opaque protocol values and the ValueSet power-set lattice the agreement
+// engines operate on, plus their canonical wire serialization.
+//
+// A Value is an opaque byte string — a serialized lattice join-irreducible
+// (an RSM command, a CRDT delta, an application datum). Correct proposers
+// contribute one Value per (round of) disclosure; Byzantine proposers are
+// limited to one *delivered* Value per reliable-broadcast instance, which
+// is what bounds |B| ≤ f in the Non-Triviality property.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "lattice/set_lattice.hpp"
+#include "wire/wire.hpp"
+
+namespace bla::lattice {
+
+using Value = wire::Bytes;
+using ValueSet = SetLattice<Value>;
+
+/// Builds a Value from text (convenient in tests and examples).
+[[nodiscard]] inline Value value_from(std::string_view s) {
+  return Value(s.begin(), s.end());
+}
+
+[[nodiscard]] inline std::string value_text(const Value& v) {
+  return std::string(v.begin(), v.end());
+}
+
+/// Hard cap on a single value's size. Correct processes never produce
+/// larger values; anything larger arriving from the network is treated as
+/// "not an element of the lattice" (paper Alg. 1 line 10 / Alg. 3 line 17)
+/// and discarded, so Byzantine senders cannot exhaust memory.
+inline constexpr std::size_t kMaxValueBytes = 4096;
+
+/// Hard cap on set cardinality accepted from the network. In any run the
+/// safe-value universe holds at most one value per process per round, so
+/// honest sets never exceed the process count; the cap is enforced during
+/// decoding before allocation.
+inline constexpr std::size_t kMaxSetElements = 1 << 16;
+
+[[nodiscard]] inline bool valid_value(const Value& v) {
+  return v.size() <= kMaxValueBytes;
+}
+
+inline void encode_value(wire::Encoder& enc, const Value& v) {
+  enc.bytes(v);
+}
+
+[[nodiscard]] inline Value decode_value(wire::Decoder& dec) {
+  Value v = dec.bytes();
+  if (!valid_value(v)) throw wire::WireError("oversized value");
+  return v;
+}
+
+/// Canonical set serialization: cardinality then elements in sorted order.
+/// Canonicality matters: SbS signs serialized sets, and signatures must be
+/// stable across processes that hold equal sets.
+inline void encode_value_set(wire::Encoder& enc, const ValueSet& s) {
+  enc.uvarint(s.size());
+  for (const Value& v : s) encode_value(enc, v);
+}
+
+[[nodiscard]] inline ValueSet decode_value_set(wire::Decoder& dec) {
+  const std::uint64_t count = dec.uvarint();
+  if (count > kMaxSetElements) throw wire::WireError("oversized value set");
+  ValueSet out;
+  for (std::uint64_t i = 0; i < count; ++i) out.insert(decode_value(dec));
+  return out;
+}
+
+}  // namespace bla::lattice

@@ -1,0 +1,87 @@
+#pragma once
+// Pluggable link-delay models for the simulator.
+//
+// The model of §3 allows unbounded but finite delays and no losses. A
+// delay model realizes one adversarial (or benign) schedule: it assigns
+// each message a finite delivery delay. The ConstantDelay(1) model makes
+// simulated time equal to message delays, which is how the latency
+// theorems are checked exactly.
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <random>
+
+#include "net/process.hpp"
+
+namespace bla::net {
+
+using Rng = std::mt19937_64;
+
+class IDelayModel {
+public:
+  virtual ~IDelayModel() = default;
+  /// Delay (simulated seconds) for a message from -> to. Must be finite
+  /// and non-negative (reliable links: every message is delivered).
+  [[nodiscard]] virtual double sample(NodeId from, NodeId to, Rng& rng) = 0;
+};
+
+/// Every link takes exactly `delay` — the message-delay metering model.
+class ConstantDelay final : public IDelayModel {
+public:
+  explicit ConstantDelay(double delay = 1.0) : delay_(delay) {}
+  [[nodiscard]] double sample(NodeId, NodeId, Rng&) override { return delay_; }
+
+private:
+  double delay_;
+};
+
+/// Uniform in [min, max]: benign jitter.
+class UniformDelay final : public IDelayModel {
+public:
+  UniformDelay(double min, double max) : dist_(min, max) {}
+  [[nodiscard]] double sample(NodeId, NodeId, Rng& rng) override {
+    return dist_(rng);
+  }
+
+private:
+  std::uniform_real_distribution<double> dist_;
+};
+
+/// Exponential with the given mean: heavy-ish tail, classic async model.
+class ExponentialDelay final : public IDelayModel {
+public:
+  explicit ExponentialDelay(double mean) : dist_(1.0 / mean) {}
+  [[nodiscard]] double sample(NodeId, NodeId, Rng& rng) override {
+    return dist_(rng);
+  }
+
+private:
+  std::exponential_distribution<double> dist_;
+};
+
+/// Adversarial scheduler: messages on links selected by `slow` are delayed
+/// by an extra `penalty` on top of the base model. Used to starve chosen
+/// processes (e.g. delay everything towards one proposer) without ever
+/// dropping a message — the strongest schedule the §3 model admits.
+class TargetedDelay final : public IDelayModel {
+public:
+  using LinkPredicate = std::function<bool(NodeId from, NodeId to)>;
+
+  TargetedDelay(std::unique_ptr<IDelayModel> base, LinkPredicate slow,
+                double penalty)
+      : base_(std::move(base)), slow_(std::move(slow)), penalty_(penalty) {}
+
+  [[nodiscard]] double sample(NodeId from, NodeId to, Rng& rng) override {
+    const double d = base_->sample(from, to, rng);
+    return slow_(from, to) ? d + penalty_ : d;
+  }
+
+private:
+  std::unique_ptr<IDelayModel> base_;
+  LinkPredicate slow_;
+  double penalty_;
+};
+
+}  // namespace bla::net

@@ -1,0 +1,62 @@
+#pragma once
+// Process and runtime interfaces for the asynchronous message-passing
+// model of paper §3: a complete graph of reliable, authenticated,
+// asynchronous point-to-point links.
+//
+// Both runtimes (the deterministic discrete-event SimNetwork and the real
+// ThreadNetwork) drive the same IProcess interface, so every protocol,
+// adversary, test, and bench runs unchanged on either.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "wire/wire.hpp"
+
+namespace bla::net {
+
+using NodeId = std::uint32_t;
+
+/// Handle a process uses to interact with the network during a callback.
+/// Authenticity: the runtime stamps the true sender on every message; a
+/// Byzantine process can send arbitrary *payloads* but cannot spoof its
+/// identity (the paper's authenticated-channels assumption).
+class IContext {
+public:
+  virtual ~IContext() = default;
+
+  virtual void send(NodeId to, wire::Bytes payload) = 0;
+
+  /// Point-to-point send to every node in [0, n) including self. This is
+  /// the paper's "Broadcast" (plain best-effort broadcast, *not* reliable
+  /// broadcast — that is built in src/rbc on top of sends).
+  virtual void broadcast(wire::Bytes payload) = 0;
+
+  [[nodiscard]] virtual NodeId self() const = 0;
+  [[nodiscard]] virtual std::size_t node_count() const = 0;
+
+  /// Current time. In the simulator with the unit-delay model this counts
+  /// message delays, the cost unit of Theorems 3 and 8.
+  [[nodiscard]] virtual double now() const = 0;
+};
+
+/// A protocol node. Correct processes implement the paper's algorithms;
+/// Byzantine processes implement anything at all.
+class IProcess {
+public:
+  virtual ~IProcess() = default;
+
+  virtual void on_start(IContext& ctx) = 0;
+  virtual void on_message(IContext& ctx, NodeId from,
+                          wire::BytesView payload) = 0;
+};
+
+/// Per-node traffic counters, the raw data behind the message-complexity
+/// tables (T3/T4/T5).
+struct NodeMetrics {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_delivered = 0;
+};
+
+}  // namespace bla::net

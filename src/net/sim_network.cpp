@@ -1,0 +1,79 @@
+#include "net/sim_network.hpp"
+
+#include <stdexcept>
+
+namespace bla::net {
+
+class SimNetwork::Context final : public IContext {
+public:
+  Context(SimNetwork& net, NodeId self) : net_(net), self_(self) {}
+
+  void send(NodeId to, wire::Bytes payload) override {
+    if (to >= net_.node_count()) return;  // unknown destination: dropped
+    net_.enqueue(self_, to, std::move(payload));
+  }
+
+  void broadcast(wire::Bytes payload) override {
+    for (NodeId to = 0; to < net_.node_count(); ++to) {
+      net_.enqueue(self_, to, payload);
+    }
+  }
+
+  [[nodiscard]] NodeId self() const override { return self_; }
+  [[nodiscard]] std::size_t node_count() const override {
+    return net_.node_count();
+  }
+  [[nodiscard]] double now() const override { return net_.now(); }
+
+private:
+  SimNetwork& net_;
+  NodeId self_;
+};
+
+SimNetwork::SimNetwork(Config config)
+    : delay_(config.delay ? std::move(config.delay)
+                          : std::make_unique<ConstantDelay>(1.0)),
+      rng_(config.seed) {}
+
+NodeId SimNetwork::add_process(std::unique_ptr<IProcess> process) {
+  if (started_) throw std::logic_error("add_process after run()");
+  const auto id = static_cast<NodeId>(processes_.size());
+  processes_.push_back(std::move(process));
+  metrics_.emplace_back();
+  return id;
+}
+
+void SimNetwork::enqueue(NodeId from, NodeId to, wire::Bytes payload) {
+  NodeMetrics& m = metrics_[from];
+  m.messages_sent += 1;
+  m.bytes_sent += payload.size();
+  total_messages_ += 1;
+  total_bytes_ += payload.size();
+  const double delay = delay_->sample(from, to, rng_);
+  queue_.push(Event{now_ + delay, next_seq_++, from, to, std::move(payload)});
+}
+
+std::uint64_t SimNetwork::run(std::uint64_t max_events,
+                              const std::function<bool()>& until) {
+  if (!started_) {
+    started_ = true;
+    for (NodeId id = 0; id < node_count(); ++id) {
+      Context ctx(*this, id);
+      processes_[id]->on_start(ctx);
+    }
+  }
+  std::uint64_t delivered = 0;
+  while (!queue_.empty() && delivered < max_events) {
+    if (until && until()) break;
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    metrics_[ev.to].messages_delivered += 1;
+    Context ctx(*this, ev.to);
+    processes_[ev.to]->on_message(ctx, ev.from, ev.payload);
+    ++delivered;
+  }
+  return delivered;
+}
+
+}  // namespace bla::net

@@ -1,0 +1,88 @@
+#pragma once
+// Deterministic discrete-event simulator of the §3 system model:
+// asynchronous, reliable, authenticated point-to-point links over a
+// complete graph. Message handling is instantaneous (processing time is
+// folded into link delays, as in the paper's message-delay cost model).
+//
+// Determinism: the event queue is ordered by (time, sequence number) and
+// all randomness flows from one seeded RNG, so a (seed, topology,
+// processes) triple replays bit-for-bit. Every table in EXPERIMENTS.md
+// states its seed.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "net/delay_model.hpp"
+#include "net/process.hpp"
+
+namespace bla::net {
+
+class SimNetwork {
+public:
+  struct Config {
+    std::uint64_t seed = 1;
+    std::unique_ptr<IDelayModel> delay;  // defaults to ConstantDelay(1)
+  };
+
+  explicit SimNetwork(Config config);
+
+  /// Registers a process; node ids are assigned densely from 0 in call
+  /// order. Must be called before run().
+  NodeId add_process(std::unique_ptr<IProcess> process);
+
+  [[nodiscard]] std::size_t node_count() const { return processes_.size(); }
+
+  /// Delivers events until the queue drains, `max_events` fire, or `until`
+  /// (if set) returns true. Returns the number of events delivered.
+  std::uint64_t run(std::uint64_t max_events = UINT64_MAX,
+                    const std::function<bool()>& until = nullptr);
+
+  /// Simulated time of the most recently delivered event.
+  [[nodiscard]] double now() const { return now_; }
+
+  [[nodiscard]] const NodeMetrics& metrics(NodeId node) const {
+    return metrics_.at(node);
+  }
+  [[nodiscard]] std::uint64_t total_messages() const {
+    return total_messages_;
+  }
+  [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
+
+  /// Direct access for tests that poke a specific node.
+  [[nodiscard]] IProcess& process(NodeId node) { return *processes_.at(node); }
+
+private:
+  struct Event {
+    double time;
+    std::uint64_t seq;  // FIFO tie-break => determinism
+    NodeId from;
+    NodeId to;
+    wire::Bytes payload;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  class Context;
+
+  void enqueue(NodeId from, NodeId to, wire::Bytes payload);
+
+  std::vector<std::unique_ptr<IProcess>> processes_;
+  std::vector<NodeMetrics> metrics_;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::unique_ptr<IDelayModel> delay_;
+  Rng rng_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t total_messages_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace bla::net

@@ -1,0 +1,122 @@
+#include "net/thread_network.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace bla::net {
+
+class ThreadNetwork::Context final : public IContext {
+public:
+  Context(ThreadNetwork& net, NodeId self) : net_(net), self_(self) {}
+
+  void send(NodeId to, wire::Bytes payload) override {
+    if (to >= net_.node_count()) return;
+    net_.deliver(self_, to, std::move(payload));
+  }
+
+  void broadcast(wire::Bytes payload) override {
+    for (NodeId to = 0; to < net_.node_count(); ++to) {
+      net_.deliver(self_, to, payload);
+    }
+  }
+
+  [[nodiscard]] NodeId self() const override { return self_; }
+  [[nodiscard]] std::size_t node_count() const override {
+    return net_.node_count();
+  }
+  [[nodiscard]] double now() const override {
+    using namespace std::chrono;
+    return duration<double>(steady_clock::now().time_since_epoch()).count();
+  }
+
+private:
+  ThreadNetwork& net_;
+  NodeId self_;
+};
+
+ThreadNetwork::~ThreadNetwork() { stop(); }
+
+NodeId ThreadNetwork::add_process(std::unique_ptr<IProcess> process) {
+  if (running_.load()) throw std::logic_error("add_process after start()");
+  auto node = std::make_unique<Node>();
+  node->process = std::move(process);
+  nodes_.push_back(std::move(node));
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void ThreadNetwork::deliver(NodeId from, NodeId to, wire::Bytes payload) {
+  Node& sender = *nodes_[from];
+  {
+    std::lock_guard lock(sender.mutex);
+    sender.metrics.messages_sent += 1;
+    sender.metrics.bytes_sent += payload.size();
+  }
+  Node& target = *nodes_[to];
+  busy_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    std::lock_guard lock(target.mutex);
+    target.mailbox.emplace_back(from, std::move(payload));
+  }
+  target.cv.notify_one();
+}
+
+void ThreadNetwork::node_loop(NodeId id) {
+  Node& node = *nodes_[id];
+  Context ctx(*this, id);
+  while (true) {
+    std::pair<NodeId, wire::Bytes> mail;
+    {
+      std::unique_lock lock(node.mutex);
+      node.cv.wait(lock, [&] {
+        return !node.mailbox.empty() || !running_.load();
+      });
+      if (!running_.load()) return;
+      mail = std::move(node.mailbox.front());
+      node.mailbox.pop_front();
+      node.metrics.messages_delivered += 1;
+    }
+    node.process->on_message(ctx, mail.first, mail.second);
+    busy_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+}
+
+void ThreadNetwork::start() {
+  if (running_.exchange(true)) return;
+  for (NodeId id = 0; id < node_count(); ++id) {
+    Context ctx(*this, id);
+    nodes_[id]->process->on_start(ctx);
+  }
+  for (NodeId id = 0; id < node_count(); ++id) {
+    nodes_[id]->thread = std::thread([this, id] { node_loop(id); });
+  }
+}
+
+bool ThreadNetwork::wait_quiescent(int timeout_ms, int idle_polls) {
+  using namespace std::chrono;
+  const auto deadline = steady_clock::now() + milliseconds(timeout_ms);
+  int consecutive_idle = 0;
+  while (steady_clock::now() < deadline) {
+    if (busy_.load(std::memory_order_acquire) == 0) {
+      if (++consecutive_idle >= idle_polls) return true;
+    } else {
+      consecutive_idle = 0;
+    }
+    std::this_thread::sleep_for(milliseconds(2));
+  }
+  return false;
+}
+
+void ThreadNetwork::stop() {
+  if (!running_.exchange(false)) return;
+  for (auto& node : nodes_) node->cv.notify_all();
+  for (auto& node : nodes_) {
+    if (node->thread.joinable()) node->thread.join();
+  }
+}
+
+NodeMetrics ThreadNetwork::metrics(NodeId node) const {
+  std::lock_guard lock(nodes_.at(node)->mutex);
+  return nodes_.at(node)->metrics;
+}
+
+}  // namespace bla::net

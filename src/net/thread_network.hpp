@@ -1,0 +1,68 @@
+#pragma once
+// Real-concurrency runtime: one thread per process, mutex-protected
+// mailboxes, actual asynchrony from OS scheduling. Drives the same
+// IProcess interface as the simulator, so protocols run unchanged.
+//
+// Used by the threaded example and the cross-runtime integration tests:
+// protocol safety must hold under *any* interleaving, and the threaded
+// runtime explores interleavings the deterministic simulator never
+// produces.
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/process.hpp"
+
+namespace bla::net {
+
+class ThreadNetwork {
+public:
+  ThreadNetwork() = default;
+  ~ThreadNetwork();
+
+  ThreadNetwork(const ThreadNetwork&) = delete;
+  ThreadNetwork& operator=(const ThreadNetwork&) = delete;
+
+  NodeId add_process(std::unique_ptr<IProcess> process);
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  /// Starts all node threads and calls on_start on each.
+  void start();
+
+  /// Blocks until the network has been quiescent (all mailboxes empty, no
+  /// handler running) for `idle_polls` consecutive polls, or until
+  /// `timeout_ms` elapses. Returns true if quiescence was reached.
+  bool wait_quiescent(int timeout_ms = 10'000, int idle_polls = 5);
+
+  /// Stops all threads (remaining mail is discarded).
+  void stop();
+
+  [[nodiscard]] NodeMetrics metrics(NodeId node) const;
+
+private:
+  struct Node {
+    std::unique_ptr<IProcess> process;
+    std::deque<std::pair<NodeId, wire::Bytes>> mailbox;
+    mutable std::mutex mutex;
+    std::condition_variable cv;
+    NodeMetrics metrics;
+    std::thread thread;
+  };
+
+  class Context;
+
+  void deliver(NodeId from, NodeId to, wire::Bytes payload);
+  void node_loop(NodeId id);
+
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::int64_t> busy_{0};  // queued messages + running handlers
+};
+
+}  // namespace bla::net

@@ -1,0 +1,121 @@
+#include "rbc/bracha.hpp"
+
+namespace bla::rbc {
+
+BrachaRbc::BrachaRbc(Config config, SendFn send, DeliverFn deliver)
+    : config_(config), send_(std::move(send)), deliver_(std::move(deliver)) {}
+
+BrachaRbc::Instance* BrachaRbc::instance_for(const InstanceKey& key) {
+  auto it = instances_.find(key);
+  if (it != instances_.end()) return &it->second;
+  std::size_t& count = instances_per_origin_[key.origin];
+  if (count >= kMaxInstancesPerOrigin) return nullptr;  // Byzantine flood
+  ++count;
+  return &instances_[key];
+}
+
+void BrachaRbc::emit(MsgType type, const InstanceKey& key,
+                     wire::BytesView payload) {
+  wire::Encoder enc;
+  enc.u8(static_cast<std::uint8_t>(type));
+  enc.u32(key.origin);
+  enc.u64(key.tag);
+  enc.bytes(payload);
+  for (NodeId to = 0; to < config_.n; ++to) {
+    send_(to, enc.view());
+  }
+}
+
+void BrachaRbc::broadcast(std::uint64_t tag, wire::BytesView payload) {
+  // SEND carries no origin field: the authenticated channel provides it.
+  wire::Encoder enc;
+  enc.u8(static_cast<std::uint8_t>(MsgType::kSend));
+  enc.u64(tag);
+  enc.bytes(payload);
+  for (NodeId to = 0; to < config_.n; ++to) {
+    send_(to, enc.view());
+  }
+}
+
+bool BrachaRbc::handle(NodeId from, std::uint8_t type, wire::Decoder& dec) {
+  if (!is_rbc_type(type)) return false;
+  try {
+    switch (static_cast<MsgType>(type)) {
+      case MsgType::kSend:
+        on_send(from, dec);
+        break;
+      case MsgType::kEcho:
+        on_echo(from, dec);
+        break;
+      case MsgType::kReady:
+        on_ready(from, dec);
+        break;
+    }
+  } catch (const wire::WireError&) {
+    // Malformed frame: necessarily from a Byzantine sender; drop it.
+  }
+  return true;
+}
+
+void BrachaRbc::on_send(NodeId from, wire::Decoder& dec) {
+  const std::uint64_t tag = dec.u64();
+  wire::Bytes payload = dec.bytes();
+  if (payload.size() > kMaxPayloadBytes) return;
+
+  const InstanceKey key{from, tag};
+  Instance* inst = instance_for(key);
+  if (inst == nullptr || inst->echoed) return;
+  inst->echoed = true;
+  emit(MsgType::kEcho, key, payload);
+}
+
+void BrachaRbc::maybe_ready(const InstanceKey& key, Instance& inst,
+                            const wire::Bytes& payload) {
+  if (inst.readied) return;
+  inst.readied = true;
+  emit(MsgType::kReady, key, payload);
+}
+
+void BrachaRbc::on_echo(NodeId from, wire::Decoder& dec) {
+  const NodeId origin = dec.u32();
+  const std::uint64_t tag = dec.u64();
+  wire::Bytes payload = dec.bytes();
+  if (payload.size() > kMaxPayloadBytes) return;
+
+  const InstanceKey key{origin, tag};
+  Instance* inst = instance_for(key);
+  if (inst == nullptr) return;
+  // One ECHO per peer per instance: a Byzantine echoing many payloads
+  // contributes to at most one tally.
+  if (!inst->echoers.insert(from).second) return;
+  auto& supporters = inst->echo_counts[payload];
+  supporters.insert(from);
+  if (supporters.size() >= echo_quorum()) {
+    maybe_ready(key, *inst, payload);
+  }
+}
+
+void BrachaRbc::on_ready(NodeId from, wire::Decoder& dec) {
+  const NodeId origin = dec.u32();
+  const std::uint64_t tag = dec.u64();
+  wire::Bytes payload = dec.bytes();
+  if (payload.size() > kMaxPayloadBytes) return;
+
+  const InstanceKey key{origin, tag};
+  Instance* inst = instance_for(key);
+  if (inst == nullptr) return;
+  if (!inst->readiers.insert(from).second) return;
+  auto& supporters = inst->ready_counts[payload];
+  supporters.insert(from);
+
+  if (supporters.size() >= ready_amplify()) {
+    // f+1 READYs contain at least one correct process: safe to amplify.
+    maybe_ready(key, *inst, payload);
+  }
+  if (supporters.size() >= ready_deliver() && !inst->delivered) {
+    inst->delivered = true;
+    deliver_(origin, tag, payload);
+  }
+}
+
+}  // namespace bla::rbc

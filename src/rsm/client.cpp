@@ -1,0 +1,115 @@
+#include "rsm/client.hpp"
+
+namespace bla::rsm {
+
+RsmClient::RsmClient(ClientConfig config, std::vector<Op> script)
+    : config_(config), script_(std::move(script)) {}
+
+void RsmClient::on_start(net::IContext& ctx) { start_next_op(ctx); }
+
+void RsmClient::start_next_op(net::IContext& ctx) {
+  if (next_op_ >= script_.size()) {
+    phase_ = Phase::kIdle;
+    return;
+  }
+  const Op& op = script_[next_op_++];
+
+  Command cmd;
+  cmd.client = config_.self;
+  cmd.seq = seq_++;
+  cmd.nop = op.is_read;
+  cmd.payload = op.payload;
+  current_command_ = encode_command(cmd);
+  current_is_read_ = op.is_read;
+  op_start_ = ctx.now();
+  decide_sets_.clear();
+  decide_replicas_.clear();
+  confirmations_.clear();
+  phase_ = Phase::kAwaitDecides;
+
+  // Alg. 5 line 3 / Alg. 6 line 3: new_value at f+1 replicas, so at least
+  // one correct replica proposes the command.
+  wire::Encoder enc;
+  enc.u8(static_cast<std::uint8_t>(core::MsgType::kRsmNewValue));
+  lattice::encode_value(enc, current_command_);
+  for (NodeId replica = 0; replica < config_.f + 1; ++replica) {
+    ctx.send(replica, enc.view());
+  }
+}
+
+void RsmClient::on_message(net::IContext& ctx, NodeId from,
+                           wire::BytesView payload) {
+  if (from >= config_.n) return;  // only replicas speak to clients
+  try {
+    wire::Decoder dec(payload);
+    const auto type = static_cast<core::MsgType>(dec.u8());
+    if (type == core::MsgType::kRsmDecide) {
+      ValueSet set = lattice::decode_value_set(dec);
+      dec.expect_done();
+      on_decide(ctx, from, std::move(set));
+    } else if (type == core::MsgType::kRsmConfRep) {
+      ValueSet set = lattice::decode_value_set(dec);
+      dec.expect_done();
+      on_conf_rep(ctx, from, std::move(set));
+    }
+  } catch (const wire::WireError&) {
+    // Byzantine replica; drop.
+  }
+}
+
+void RsmClient::on_decide(net::IContext& ctx, NodeId replica, ValueSet set) {
+  // Alg. 5 lines 5-6 / Alg. 6 lines 4-5: only decision values containing
+  // our command count.
+  if (phase_ != Phase::kAwaitDecides) return;
+  if (!set.contains(current_command_)) return;
+  decide_sets_[replica].push_back(set);
+  decide_replicas_.insert(replica);
+  if (decide_replicas_.size() < config_.f + 1) return;
+
+  if (!current_is_read_) {
+    // Update: f+1 replicas decided a value containing cmd — at least one
+    // is correct, so the command is durably in the RSM (Alg. 5 line 4).
+    finish_op(ctx, ValueSet{});
+  } else {
+    begin_confirmation(ctx);
+  }
+}
+
+void RsmClient::begin_confirmation(net::IContext& ctx) {
+  // Alg. 6 lines 6-8: ask every replica to confirm each candidate value.
+  phase_ = Phase::kAwaitConfirms;
+  for (const auto& [replica, sets] : decide_sets_) {
+    for (const ValueSet& set : sets) {
+      wire::Encoder enc;
+      enc.u8(static_cast<std::uint8_t>(core::MsgType::kRsmConfReq));
+      lattice::encode_value_set(enc, set);
+      for (NodeId r = 0; r < config_.n; ++r) {
+        ctx.send(r, enc.view());
+      }
+    }
+  }
+}
+
+void RsmClient::on_conf_rep(net::IContext& ctx, NodeId replica,
+                            ValueSet set) {
+  // Alg. 6 lines 9-12.
+  if (phase_ != Phase::kAwaitConfirms) return;
+  auto& supporters = confirmations_[set.elements()];
+  supporters.insert(replica);
+  if (supporters.size() >= config_.f + 1) {
+    finish_op(ctx, execute(set));
+  }
+}
+
+void RsmClient::finish_op(net::IContext& ctx, ValueSet read_value) {
+  OpResult result;
+  result.is_read = current_is_read_;
+  result.command = current_command_;
+  result.read_value = std::move(read_value);
+  result.start_time = op_start_;
+  result.finish_time = ctx.now();
+  completed_.push_back(std::move(result));
+  start_next_op(ctx);
+}
+
+}  // namespace bla::rsm

@@ -1,0 +1,88 @@
+#pragma once
+// RSM client (§7.2, Algorithms 5 and 6). Runs a scripted sequence of
+// update/read operations, one at a time; each completed operation is
+// logged with start/finish times so tests can check the §7.1 properties
+// (linearizability of the commutative RSM) from the outside.
+//
+// update(cmd): send new_value({cmd}) to f+1 replicas; complete when f+1
+// distinct replicas report a decision containing cmd.
+//
+// read(): update a fresh nop, collect f+1 decision values containing the
+// nop, then ask all replicas to *confirm* one of those values (Alg. 7);
+// the first value confirmed by f+1 replicas is executed and returned.
+// The confirmation step is what stops a Byzantine replica from feeding
+// the client a fabricated "decision".
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "rsm/command.hpp"
+
+namespace bla::rsm {
+
+struct ClientConfig {
+  NodeId self = 0;   // node id (≥ n by the layout convention)
+  std::size_t n = 0; // replica count
+  std::size_t f = 0;
+};
+
+class RsmClient : public net::IProcess {
+public:
+  struct Op {
+    bool is_read = false;
+    wire::Bytes payload;  // update payload (ignored for reads)
+  };
+
+  struct OpResult {
+    bool is_read = false;
+    Value command;         // the (unique) command submitted
+    ValueSet read_value;   // execute() result (reads only)
+    double start_time = 0.0;
+    double finish_time = 0.0;
+  };
+
+  RsmClient(ClientConfig config, std::vector<Op> script);
+
+  void on_start(net::IContext& ctx) override;
+  void on_message(net::IContext& ctx, NodeId from,
+                  wire::BytesView payload) override;
+
+  [[nodiscard]] const std::vector<OpResult>& completed() const {
+    return completed_;
+  }
+  [[nodiscard]] bool script_done() const {
+    return completed_.size() == script_.size();
+  }
+
+private:
+  enum class Phase { kIdle, kAwaitDecides, kAwaitConfirms };
+
+  void start_next_op(net::IContext& ctx);
+  void on_decide(net::IContext& ctx, NodeId replica, ValueSet set);
+  void on_conf_rep(net::IContext& ctx, NodeId replica, ValueSet set);
+  void begin_confirmation(net::IContext& ctx);
+  void finish_op(net::IContext& ctx, ValueSet read_value);
+
+  ClientConfig config_;
+  std::vector<Op> script_;
+  std::size_t next_op_ = 0;
+  std::uint64_t seq_ = 0;
+
+  Phase phase_ = Phase::kIdle;
+  Value current_command_;
+  bool current_is_read_ = false;
+  double op_start_ = 0.0;
+  // Decision values containing the current command, by reporting replica.
+  std::map<NodeId, std::vector<ValueSet>> decide_sets_;
+  std::set<NodeId> decide_replicas_;
+  // Confirmation tallies: canonical set -> confirming replicas.
+  std::map<std::vector<Value>, std::set<NodeId>> confirmations_;
+
+  std::vector<OpResult> completed_;
+};
+
+}  // namespace bla::rsm

@@ -1,0 +1,46 @@
+#include "rsm/command.hpp"
+
+namespace bla::rsm {
+
+namespace {
+constexpr std::uint8_t kCommandMagic = 0xC3;
+}
+
+Value encode_command(const Command& cmd) {
+  wire::Encoder enc;
+  enc.u8(kCommandMagic);
+  enc.u32(cmd.client);
+  enc.u64(cmd.seq);
+  enc.u8(cmd.nop ? 1 : 0);
+  enc.bytes(cmd.payload);
+  return enc.take();
+}
+
+std::optional<Command> decode_command(const Value& value) {
+  try {
+    wire::Decoder dec(value);
+    if (dec.u8() != kCommandMagic) return std::nullopt;
+    Command cmd;
+    cmd.client = dec.u32();
+    cmd.seq = dec.u64();
+    const std::uint8_t nop = dec.u8();
+    if (nop > 1) return std::nullopt;
+    cmd.nop = nop == 1;
+    cmd.payload = dec.bytes();
+    dec.expect_done();
+    return cmd;
+  } catch (const wire::WireError&) {
+    return std::nullopt;
+  }
+}
+
+ValueSet execute(const ValueSet& decided) {
+  ValueSet out;
+  for (const Value& v : decided) {
+    const auto cmd = decode_command(v);
+    if (cmd.has_value() && !cmd->nop) out.insert(v);
+  }
+  return out;
+}
+
+}  // namespace bla::rsm

@@ -1,0 +1,38 @@
+#pragma once
+// RSM command encoding (§7): every update carries a unique identity
+// (client id, sequence number) as the paper requires, plus an opaque
+// application payload. Reads are implemented as updates of a `nop`
+// command that execute() filters out (Alg. 6 line 3).
+
+#include <cstdint>
+#include <optional>
+
+#include "core/common.hpp"
+#include "lattice/value.hpp"
+#include "wire/wire.hpp"
+
+namespace bla::rsm {
+
+using core::NodeId;
+using core::Value;
+using core::ValueSet;
+
+struct Command {
+  NodeId client = 0;
+  std::uint64_t seq = 0;
+  bool nop = false;
+  wire::Bytes payload;  // application-level operation (e.g. "add(5)")
+};
+
+[[nodiscard]] Value encode_command(const Command& cmd);
+
+/// Returns nullopt when the value is not a well-formed command — the
+/// "cmd is not an admissible command" filter of Lemma 12.
+[[nodiscard]] std::optional<Command> decode_command(const Value& value);
+
+/// The paper's execute(): the returned value of a command set is the set
+/// of update commands, minus nops (§7.2 "the value returned by the
+/// execution of a set of commands is equal to the set of commands").
+[[nodiscard]] ValueSet execute(const ValueSet& decided);
+
+}  // namespace bla::rsm

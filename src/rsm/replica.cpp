@@ -1,0 +1,91 @@
+#include "rsm/replica.hpp"
+
+namespace bla::rsm {
+
+namespace {
+constexpr std::size_t kMaxPendingConfs = 1 << 14;
+}
+
+RsmReplica::RsmReplica(ReplicaConfig config)
+    : config_(config),
+      gwts_(
+          core::GwtsConfig{config.self, config.n, config.f, config.max_rounds},
+          [this](const core::GwtsProcess::Decision& d) { on_decide(d); }) {}
+
+void RsmReplica::on_start(net::IContext& ctx) {
+  ctx_ = &ctx;
+  gwts_.on_start(ctx);
+  ctx_ = nullptr;
+}
+
+void RsmReplica::on_message(net::IContext& ctx, NodeId from,
+                            wire::BytesView payload) {
+  ctx_ = &ctx;
+  try {
+    wire::Decoder dec(payload);
+    if (dec.done()) {
+      ctx_ = nullptr;
+      return;
+    }
+    const auto type = static_cast<core::MsgType>(payload[0]);
+
+    if (type == core::MsgType::kRsmNewValue) {
+      // Alg. 5 line 3 / Alg. 3 lines 8-9, with the Lemma 12 admissibility
+      // filter: only well-formed commands enter the lattice.
+      dec.u8();
+      const Value value = lattice::decode_value(dec);
+      dec.expect_done();
+      if (decode_command(value).has_value()) {
+        gwts_.submit(value);
+      }
+    } else if (type == core::MsgType::kRsmConfReq) {
+      // Alg. 7 lines 2-3.
+      dec.u8();
+      ValueSet set = lattice::decode_value_set(dec);
+      dec.expect_done();
+      if (pending_confs_.size() < kMaxPendingConfs) {
+        pending_confs_.push_back({from, set.elements()});
+      }
+      drain_pending_confirmations();
+    } else {
+      // GWTS / RBC traffic.
+      gwts_.on_message(ctx, from, payload);
+      drain_pending_confirmations();
+    }
+  } catch (const wire::WireError&) {
+    // Byzantine client or replica; drop.
+  }
+  ctx_ = nullptr;
+}
+
+void RsmReplica::on_decide(const core::GwtsProcess::Decision& decision) {
+  // Alg. 5 line 5: push <decide, Accepted_set, replica> to every client.
+  // Clients occupy every node id ≥ n.
+  wire::Encoder enc;
+  enc.u8(static_cast<std::uint8_t>(core::MsgType::kRsmDecide));
+  lattice::encode_value_set(enc, decision.set);
+  const std::size_t total = ctx_->node_count();
+  for (NodeId client = static_cast<NodeId>(config_.n); client < total;
+       ++client) {
+    ctx_->send(client, enc.view());
+  }
+}
+
+void RsmReplica::drain_pending_confirmations() {
+  // Alg. 7 lines 4-6: confirm once the set shows a quorum in Ack_history.
+  for (auto it = pending_confs_.begin(); it != pending_confs_.end();) {
+    ValueSet set;
+    for (const Value& v : it->set_elems) set.insert(v);
+    if (gwts_.is_committed(set)) {
+      wire::Encoder enc;
+      enc.u8(static_cast<std::uint8_t>(core::MsgType::kRsmConfRep));
+      lattice::encode_value_set(enc, set);
+      ctx_->send(it->client, enc.take());
+      it = pending_confs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace bla::rsm

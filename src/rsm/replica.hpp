@@ -1,0 +1,56 @@
+#pragma once
+// RSM replica (§7.2): a GWTS proposer+acceptor plus
+//  * the client-facing new_value entry point (Alg. 5 line 3),
+//  * decide notifications pushed to clients (Alg. 5 line 5),
+//  * the confirmation plug-in (Alg. 7) that lets clients distinguish
+//    genuine decision values from values fabricated by Byzantine replicas.
+//
+// Node layout convention: replicas occupy ids [0, n); every id ≥ n is a
+// client. Replicas learn nothing from clients beyond commands, and trust
+// none of it (Lemma 12: Byzantine clients are harmless).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/gwts.hpp"
+#include "rsm/command.hpp"
+
+namespace bla::rsm {
+
+struct ReplicaConfig {
+  NodeId self = 0;
+  std::size_t n = 0;  // replica count (n ≥ 3f+1)
+  std::size_t f = 0;
+  std::uint64_t max_rounds = 0;  // 0 = unbounded
+};
+
+class RsmReplica : public net::IProcess {
+public:
+  explicit RsmReplica(ReplicaConfig config);
+
+  void on_start(net::IContext& ctx) override;
+  void on_message(net::IContext& ctx, NodeId from,
+                  wire::BytesView payload) override;
+
+  [[nodiscard]] const core::GwtsProcess& engine() const { return gwts_; }
+  /// Current materialized state (set of non-nop commands decided so far).
+  [[nodiscard]] ValueSet state() const {
+    return execute(gwts_.decided_set());
+  }
+
+private:
+  struct PendingConf {
+    NodeId client;
+    std::vector<Value> set_elems;
+  };
+
+  void on_decide(const core::GwtsProcess::Decision& decision);
+  void drain_pending_confirmations();
+
+  ReplicaConfig config_;
+  core::GwtsProcess gwts_;
+  net::IContext* ctx_ = nullptr;
+  std::vector<PendingConf> pending_confs_;
+};
+
+}  // namespace bla::rsm

@@ -1,0 +1,33 @@
+#include "rsm/snapshot.hpp"
+
+namespace bla::rsm {
+
+SnapshotView SnapshotView::from_commands(const ValueSet& commands) {
+  SnapshotView view;
+  for (const Value& v : commands) {
+    const auto cmd = decode_command(v);
+    if (!cmd.has_value() || cmd->nop) continue;
+    Segment& slot = view.segments_[cmd->client];
+    // Latest write per writer wins; writers issue strictly increasing
+    // sequence numbers, so ties cannot occur between distinct values.
+    if (cmd->seq >= slot.seq) {
+      slot.seq = cmd->seq;
+      slot.value = cmd->payload;
+    }
+  }
+  return view;
+}
+
+bool SnapshotView::leq(const SnapshotView& other) const {
+  for (const auto& [writer, segment] : segments_) {
+    const Segment* theirs = other.segment(writer);
+    if (theirs == nullptr || segment.seq > theirs->seq) return false;
+  }
+  return true;
+}
+
+RsmClient::Op make_segment_update(wire::Bytes value) {
+  return {/*is_read=*/false, std::move(value)};
+}
+
+}  // namespace bla::rsm

@@ -1,0 +1,64 @@
+#pragma once
+// Atomic snapshot object on top of the Byzantine-tolerant RSM.
+//
+// Lattice Agreement was originally introduced (Attiya, Herlihy, Rachman —
+// paper §2) to implement atomic snapshots: each writer owns a segment,
+// update(v) overwrites the writer's segment, and scan() returns a
+// consistent view of all segments. On our RSM this is a thin
+// materialization layer: updates are commands (writer, seq, value) and a
+// scan is an RSM read reduced to the per-writer latest value. The RSM's
+// Read Consistency/Monotonicity properties (§7.1) make scans atomic:
+// any two scans are ordered, and a scan sees every update that completed
+// before it started.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "rsm/client.hpp"
+#include "rsm/command.hpp"
+
+namespace bla::rsm {
+
+/// One writer's segment: the payload of its highest-sequence update.
+struct Segment {
+  std::uint64_t seq = 0;
+  wire::Bytes value;
+};
+
+/// A consistent view of all segments, materialized from a confirmed RSM
+/// read value.
+class SnapshotView {
+public:
+  SnapshotView() = default;
+
+  /// Reduces a decided command set to the latest segment per writer.
+  /// Non-command values and nops are ignored (they cannot appear in
+  /// execute() output, but the reduction is defensive anyway).
+  static SnapshotView from_commands(const ValueSet& commands);
+
+  [[nodiscard]] const Segment* segment(NodeId writer) const {
+    auto it = segments_.find(writer);
+    return it == segments_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] std::size_t writer_count() const { return segments_.size(); }
+  [[nodiscard]] auto begin() const { return segments_.begin(); }
+  [[nodiscard]] auto end() const { return segments_.end(); }
+
+  /// Snapshot order: this view precedes `other` if every segment here is
+  /// no newer than the corresponding segment there. Scans from the RSM
+  /// are always comparable under this order (Read Consistency).
+  [[nodiscard]] bool leq(const SnapshotView& other) const;
+
+  friend bool operator==(const SnapshotView&, const SnapshotView&) = default;
+
+private:
+  std::map<NodeId, Segment> segments_;
+};
+
+/// Builds the update command a writer submits through its RsmClient to
+/// set its segment. `seq` must increase per writer (RsmClient's own
+/// sequence numbers satisfy this when one client == one writer).
+[[nodiscard]] RsmClient::Op make_segment_update(wire::Bytes value);
+
+}  // namespace bla::rsm

@@ -1,0 +1,115 @@
+#include "testutil/properties.hpp"
+
+#include <sstream>
+
+#include "lattice/lattice.hpp"
+
+namespace bla::testutil {
+
+namespace {
+
+std::string describe_set(const ValueSet& s, std::size_t limit = 8) {
+  std::ostringstream out;
+  out << "{";
+  std::size_t i = 0;
+  for (const Value& v : s) {
+    if (i++ >= limit) {
+      out << ", ...";
+      break;
+    }
+    if (i > 1) out << ", ";
+    out << std::string(v.begin(), v.end());
+  }
+  out << "} (" << s.size() << " elems)";
+  return out.str();
+}
+
+}  // namespace
+
+std::string check_comparability(const std::vector<ValueSet>& decisions) {
+  for (std::size_t i = 0; i < decisions.size(); ++i) {
+    for (std::size_t j = i + 1; j < decisions.size(); ++j) {
+      if (!lattice::comparable(decisions[i], decisions[j])) {
+        std::ostringstream out;
+        out << "decisions " << i << " and " << j << " incomparable: "
+            << describe_set(decisions[i]) << " vs "
+            << describe_set(decisions[j]);
+        return out.str();
+      }
+    }
+  }
+  return {};
+}
+
+std::string check_inclusivity(const ValueSet& decision,
+                              const Value& own_value) {
+  if (!decision.contains(own_value)) {
+    return "decision " + describe_set(decision) + " misses own value '" +
+           std::string(own_value.begin(), own_value.end()) + "'";
+  }
+  return {};
+}
+
+std::string check_non_triviality(const ValueSet& decision,
+                                 const ValueSet& correct_inputs,
+                                 std::size_t f) {
+  const ValueSet alien = lattice::set_minus(decision, correct_inputs);
+  if (alien.size() > f) {
+    std::ostringstream out;
+    out << "decision contains " << alien.size()
+        << " values outside correct inputs (allowed " << f
+        << "): " << describe_set(alien);
+    return out.str();
+  }
+  return {};
+}
+
+std::string check_local_stability(
+    const std::vector<core::GwtsProcess::Decision>& decisions) {
+  for (std::size_t i = 1; i < decisions.size(); ++i) {
+    if (!decisions[i - 1].set.leq(decisions[i].set)) {
+      std::ostringstream out;
+      out << "decision " << i - 1 << " not <= decision " << i << ": "
+          << describe_set(decisions[i - 1].set) << " vs "
+          << describe_set(decisions[i].set);
+      return out.str();
+    }
+  }
+  return {};
+}
+
+std::string check_gla_comparability(
+    const std::vector<std::vector<core::GwtsProcess::Decision>>& by_process) {
+  std::vector<ValueSet> all;
+  for (const auto& decisions : by_process) {
+    for (const auto& d : decisions) all.push_back(d.set);
+  }
+  return check_comparability(all);
+}
+
+std::string check_gla_inclusivity(
+    const std::vector<core::GwtsProcess::Decision>& decisions,
+    const std::vector<Value>& submitted) {
+  for (const Value& v : submitted) {
+    bool found = false;
+    for (const auto& d : decisions) {
+      if (d.set.contains(v)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return "submitted value '" + std::string(v.begin(), v.end()) +
+             "' never appeared in any decision";
+    }
+  }
+  return {};
+}
+
+std::string check_gla_non_triviality(const ValueSet& last_decision,
+                                     const ValueSet& correct_inputs,
+                                     std::size_t budget) {
+  return check_non_triviality(last_decision, correct_inputs, budget);
+}
+
+}  // namespace bla::testutil

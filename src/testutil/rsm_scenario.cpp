@@ -1,0 +1,153 @@
+#include "testutil/rsm_scenario.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "lattice/lattice.hpp"
+
+namespace bla::testutil {
+
+RsmScenario::RsmScenario(RsmScenarioOptions options)
+    : options_(std::move(options)) {
+  net::SimNetwork::Config cfg;
+  cfg.seed = options_.seed;
+  cfg.delay = std::move(options_.delay);
+  net_ = std::make_unique<net::SimNetwork>(std::move(cfg));
+
+  for (net::NodeId id = 0; id < options_.n; ++id) {
+    if (options_.is_byzantine(id)) {
+      if (options_.adversary) {
+        auto p = options_.adversary(id);
+        net_->add_process(p ? std::move(p)
+                            : std::make_unique<core::SilentProcess>());
+      } else {
+        net_->add_process(std::make_unique<core::SilentProcess>());
+      }
+      continue;
+    }
+    auto replica = std::make_unique<rsm::RsmReplica>(rsm::ReplicaConfig{
+        id, options_.n, options_.f, options_.max_rounds});
+    replicas_.push_back(replica.get());
+    net_->add_process(std::move(replica));
+  }
+
+  for (std::size_t c = 0; c < options_.clients; ++c) {
+    const auto id = static_cast<net::NodeId>(options_.n + c);
+    std::vector<rsm::RsmClient::Op> script;
+    for (std::size_t k = 0; k < options_.op_pairs; ++k) {
+      wire::Encoder payload;
+      payload.str("op");
+      payload.u32(id);
+      payload.uvarint(k);
+      script.push_back({/*is_read=*/false, payload.take()});
+      script.push_back({/*is_read=*/true, {}});
+    }
+    auto client = std::make_unique<rsm::RsmClient>(
+        rsm::ClientConfig{id, options_.n, options_.f}, std::move(script));
+    clients_.push_back(client.get());
+    net_->add_process(std::move(client));
+  }
+}
+
+std::uint64_t RsmScenario::run(std::uint64_t max_events) {
+  return net_->run(max_events);
+}
+
+bool RsmScenario::all_clients_done() const {
+  return std::all_of(clients_.begin(), clients_.end(),
+                     [](const auto* c) { return c->script_done(); });
+}
+
+std::vector<rsm::RsmClient::OpResult> RsmScenario::all_ops() const {
+  std::vector<rsm::RsmClient::OpResult> ops;
+  for (const rsm::RsmClient* client : clients_) {
+    ops.insert(ops.end(), client->completed().begin(),
+               client->completed().end());
+  }
+  std::sort(ops.begin(), ops.end(), [](const auto& a, const auto& b) {
+    return a.finish_time < b.finish_time;
+  });
+  return ops;
+}
+
+core::ValueSet RsmScenario::submitted_commands() const {
+  core::ValueSet out;
+  for (const rsm::RsmClient* client : clients_) {
+    for (const auto& op : client->completed()) {
+      if (!op.is_read) out.insert(op.command);
+    }
+  }
+  return out;
+}
+
+std::string check_rsm_properties(
+    const std::vector<rsm::RsmClient::OpResult>& ops,
+    const core::ValueSet& submitted_commands) {
+  // Read Validity: a read returns only genuinely submitted commands (a
+  // fabricated command would prove a Byzantine replica forged state).
+  for (const auto& op : ops) {
+    if (!op.is_read) continue;
+    if (!op.read_value.leq(submitted_commands)) {
+      return "read returned commands nobody submitted";
+    }
+  }
+
+  // Read Consistency: all read values comparable.
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (!ops[i].is_read) continue;
+    for (std::size_t j = i + 1; j < ops.size(); ++j) {
+      if (!ops[j].is_read) continue;
+      if (!lattice::comparable(ops[i].read_value, ops[j].read_value)) {
+        std::ostringstream out;
+        out << "reads " << i << " and " << j << " incomparable";
+        return out.str();
+      }
+    }
+  }
+
+  // Read Monotonicity: r1 finishes before r2 starts => v1 ⊆ v2.
+  for (const auto& r1 : ops) {
+    if (!r1.is_read) continue;
+    for (const auto& r2 : ops) {
+      if (!r2.is_read) continue;
+      if (r1.finish_time < r2.start_time &&
+          !r1.read_value.leq(r2.read_value)) {
+        return "read monotonicity violated";
+      }
+    }
+  }
+
+  // Update Visibility: update u completes before read r starts => r sees
+  // u's command.
+  for (const auto& u : ops) {
+    if (u.is_read) continue;
+    for (const auto& r : ops) {
+      if (!r.is_read) continue;
+      if (u.finish_time < r.start_time &&
+          !r.read_value.contains(u.command)) {
+        return "update visibility violated";
+      }
+    }
+  }
+
+  // Update Stability: u1 completes before u2 starts => any read containing
+  // u2's command also contains u1's.
+  for (const auto& u1 : ops) {
+    if (u1.is_read) continue;
+    for (const auto& u2 : ops) {
+      if (u2.is_read || &u1 == &u2) continue;
+      if (u1.finish_time >= u2.start_time) continue;
+      for (const auto& r : ops) {
+        if (!r.is_read) continue;
+        if (r.read_value.contains(u2.command) &&
+            !r.read_value.contains(u1.command)) {
+          return "update stability violated";
+        }
+      }
+    }
+  }
+
+  return {};
+}
+
+}  // namespace bla::testutil

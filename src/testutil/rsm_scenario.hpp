@@ -1,0 +1,55 @@
+#pragma once
+// RSM scenario: n replicas (some Byzantine) + a set of scripted clients
+// issuing interleaved updates and reads. Tests and the T7 bench check the
+// §7.1 properties from the completed-operation log.
+
+#include <memory>
+#include <vector>
+
+#include "net/sim_network.hpp"
+#include "rsm/client.hpp"
+#include "rsm/replica.hpp"
+#include "testutil/scenario.hpp"
+
+namespace bla::testutil {
+
+struct RsmScenarioOptions : ScenarioOptions {
+  std::size_t clients = 2;
+  /// Per client: number of (update, read) pairs in the script.
+  std::size_t op_pairs = 3;
+  std::uint64_t max_rounds = 60;
+};
+
+class RsmScenario {
+public:
+  explicit RsmScenario(RsmScenarioOptions options);
+
+  std::uint64_t run(std::uint64_t max_events = 200'000'000);
+
+  [[nodiscard]] net::SimNetwork& network() { return *net_; }
+  [[nodiscard]] const std::vector<rsm::RsmClient*>& clients() const {
+    return clients_;
+  }
+  [[nodiscard]] const std::vector<rsm::RsmReplica*>& correct_replicas() const {
+    return replicas_;
+  }
+  [[nodiscard]] bool all_clients_done() const;
+  /// Every completed operation of every client, ordered by finish time.
+  [[nodiscard]] std::vector<rsm::RsmClient::OpResult> all_ops() const;
+  /// Union of all non-nop commands submitted by (correct) clients.
+  [[nodiscard]] core::ValueSet submitted_commands() const;
+
+private:
+  RsmScenarioOptions options_;
+  std::unique_ptr<net::SimNetwork> net_;
+  std::vector<rsm::RsmReplica*> replicas_;
+  std::vector<rsm::RsmClient*> clients_;
+};
+
+/// Validates the six §7.1 properties over a completed-op log. Returns ""
+/// or a violation description.
+[[nodiscard]] std::string check_rsm_properties(
+    const std::vector<rsm::RsmClient::OpResult>& ops,
+    const core::ValueSet& submitted_commands);
+
+}  // namespace bla::testutil

@@ -1,0 +1,178 @@
+#pragma once
+// Bounds-checked binary serialization used by every protocol message.
+//
+// Design notes:
+//  * Decoding is Byzantine-facing: any malformed input throws WireError,
+//    which protocol code catches and drops. Decoders never read out of
+//    bounds and never allocate more than the remaining input size.
+//  * Encoding is append-only into a std::vector<uint8_t>; the encoded
+//    bytes are what gets signed/HMAC'd, so encoding must be deterministic
+//    (it is: fixed little-endian integers, LEB128 varints, length-prefixed
+//    byte strings, and ordered containers serialized in order).
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bla::wire {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Thrown on any malformed or truncated input. Protocol handlers treat it
+/// as "message from a Byzantine sender" and drop the message.
+class WireError : public std::runtime_error {
+public:
+  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Append-only encoder. All multi-byte integers are little-endian;
+/// unsigned varints use LEB128.
+class Encoder {
+public:
+  Encoder() = default;
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+
+  void u16(std::uint16_t v) { put_le(v); }
+  void u32(std::uint32_t v) { put_le(v); }
+  void u64(std::uint64_t v) { put_le(v); }
+
+  /// LEB128 unsigned varint (1..10 bytes).
+  void uvarint(std::uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<std::uint8_t>(v) | 0x80u);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  /// Length-prefixed byte string.
+  void bytes(BytesView b) {
+    uvarint(b.size());
+    raw(b);
+  }
+
+  void str(std::string_view s) {
+    uvarint(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  /// Raw append without a length prefix (caller knows the framing).
+  void raw(BytesView b) { buf_.insert(buf_.end(), b.begin(), b.end()); }
+
+  [[nodiscard]] const Bytes& view() const { return buf_; }
+  [[nodiscard]] Bytes take() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+private:
+  template <typename T>
+  void put_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  Bytes buf_;
+};
+
+/// Bounds-checked decoder over a non-owning view.
+class Decoder {
+public:
+  explicit Decoder(BytesView data) : data_(data) {}
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool done() const { return remaining() == 0; }
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+
+  std::uint16_t u16() { return get_le<std::uint16_t>(); }
+  std::uint32_t u32() { return get_le<std::uint32_t>(); }
+  std::uint64_t u64() { return get_le<std::uint64_t>(); }
+
+  std::uint64_t uvarint() {
+    std::uint64_t result = 0;
+    for (unsigned shift = 0; shift < 64; shift += 7) {
+      const std::uint8_t byte = u8();
+      result |= static_cast<std::uint64_t>(byte & 0x7Fu) << shift;
+      if ((byte & 0x80u) == 0) {
+        if (shift == 63 && (byte & 0x7Eu) != 0) {
+          throw WireError("uvarint overflow");
+        }
+        return result;
+      }
+    }
+    throw WireError("uvarint too long");
+  }
+
+  /// Length-prefixed byte string. The length is validated against the
+  /// remaining input before any allocation (Byzantine senders cannot make
+  /// us allocate more than they transmitted).
+  Bytes bytes() {
+    const std::uint64_t len = uvarint();
+    if (len > remaining()) throw WireError("bytes length exceeds input");
+    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+    pos_ += len;
+    return out;
+  }
+
+  /// Like bytes() but returns a view into the underlying buffer.
+  BytesView bytes_view() {
+    const std::uint64_t len = uvarint();
+    if (len > remaining()) throw WireError("bytes length exceeds input");
+    BytesView out = data_.subspan(pos_, len);
+    pos_ += len;
+    return out;
+  }
+
+  std::string str() {
+    BytesView b = bytes_view();
+    return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+  }
+
+  /// Fixed-size raw read (no length prefix).
+  BytesView raw(std::size_t len) {
+    need(len);
+    BytesView out = data_.subspan(pos_, len);
+    pos_ += len;
+    return out;
+  }
+
+  /// Declares the end of the message; trailing garbage is malformed.
+  void expect_done() const {
+    if (!done()) throw WireError("trailing bytes");
+  }
+
+private:
+  void need(std::size_t k) const {
+    if (remaining() < k) throw WireError("truncated input");
+  }
+
+  template <typename T>
+  T get_le() {
+    need(sizeof(T));
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | (static_cast<T>(data_[pos_ + i]) << (8 * i)));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+/// Hex helpers (used in logs, tests, and key fingerprints).
+[[nodiscard]] std::string to_hex(BytesView b);
+[[nodiscard]] Bytes from_hex(std::string_view hex);
+
+}  // namespace bla::wire

@@ -1,0 +1,119 @@
+// Crash-fault baseline LA (Faleiro-style): correct under crash faults
+// with a majority of correct processes — the comparison point for the
+// benches and the foil for the resilience story.
+
+#include <gtest/gtest.h>
+
+#include "core/adversary.hpp"
+#include "core/baseline.hpp"
+#include "net/delay_model.hpp"
+#include "testutil/properties.hpp"
+#include "testutil/scenario.hpp"
+
+namespace bla::core {
+namespace {
+
+struct Fixture {
+  net::SimNetwork net;
+  std::vector<BaselineLaProcess*> correct;
+
+  Fixture(std::size_t n, std::size_t crashes, std::uint64_t seed,
+          std::unique_ptr<net::IDelayModel> delay = nullptr)
+      : net({.seed = seed, .delay = std::move(delay)}) {
+    for (net::NodeId id = 0; id < n; ++id) {
+      if (id >= n - crashes) {
+        net.add_process(std::make_unique<SilentProcess>());
+        continue;
+      }
+      auto p = std::make_unique<BaselineLaProcess>(
+          BaselineConfig{id, n}, testutil::proposal_value(id));
+      correct.push_back(p.get());
+      net.add_process(std::move(p));
+    }
+  }
+
+  std::vector<ValueSet> decisions() const {
+    std::vector<ValueSet> out;
+    for (const auto* p : correct) {
+      if (p->has_decided()) out.push_back(p->decision());
+    }
+    return out;
+  }
+};
+
+class BaselineSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(BaselineSweep, CrashToleranceUpToMinority) {
+  const auto& [n, crashes] = GetParam();
+  Fixture fx(n, crashes, 7);
+  fx.net.run();
+  for (const auto* p : fx.correct) {
+    EXPECT_TRUE(p->has_decided());
+  }
+  EXPECT_EQ(testutil::check_comparability(fx.decisions()), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BaselineSweep,
+                         ::testing::Values(std::tuple{3u, 0u},
+                                           std::tuple{3u, 1u},
+                                           std::tuple{5u, 2u},
+                                           std::tuple{7u, 3u},
+                                           std::tuple{9u, 4u}),
+                         [](const auto& param_info) {
+                           return "n" + std::to_string(std::get<0>(param_info.param)) +
+                                  "c" + std::to_string(std::get<1>(param_info.param));
+                         });
+
+TEST(Baseline, BlocksWhenMajorityUnreachable) {
+  Fixture fx(4, 2, 1);  // quorum 3, only 2 alive
+  fx.net.run();
+  for (const auto* p : fx.correct) {
+    EXPECT_FALSE(p->has_decided());
+  }
+}
+
+TEST(Baseline, InclusivityAndNonTrivialityWithoutFaults) {
+  Fixture fx(5, 0, 3);
+  fx.net.run();
+  ValueSet inputs;
+  for (net::NodeId id = 0; id < 5; ++id) {
+    inputs.insert(testutil::proposal_value(id));
+  }
+  for (std::size_t i = 0; i < fx.correct.size(); ++i) {
+    ASSERT_TRUE(fx.correct[i]->has_decided());
+    EXPECT_TRUE(fx.correct[i]->decision().contains(
+        testutil::proposal_value(static_cast<net::NodeId>(i))));
+    EXPECT_TRUE(fx.correct[i]->decision().leq(inputs));
+  }
+}
+
+TEST(Baseline, FewerMessagesThanWts) {
+  // The cost of Byzantine tolerance, quantified: same topology, same
+  // schedule, no faults — WTS pays the RBC overhead.
+  constexpr std::size_t n = 7;
+  Fixture baseline(n, 0, 5);
+  baseline.net.run();
+
+  testutil::ScenarioOptions options;
+  options.n = n;
+  options.f = 2;
+  options.byz_ids = {std::numeric_limits<net::NodeId>::max()};  // none faulty
+  testutil::WtsScenario wts(std::move(options));
+  wts.run();
+
+  EXPECT_LT(baseline.net.total_messages(), wts.network().total_messages());
+}
+
+TEST(Baseline, AsynchronousDelays) {
+  Fixture fx(5, 1, 11, std::make_unique<net::ExponentialDelay>(1.5));
+  fx.net.run();
+  for (const auto* p : fx.correct) {
+    EXPECT_TRUE(p->has_decided());
+  }
+  EXPECT_EQ(testutil::check_comparability(fx.decisions()), "");
+}
+
+}  // namespace
+}  // namespace bla::core

@@ -1,0 +1,180 @@
+// CRDT tests: operation semantics plus the convergence property that
+// motivates the paper's RSM — replicas that apply the same updates in any
+// order merge to equal states.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "lattice/crdt.hpp"
+
+namespace bla::lattice {
+namespace {
+
+TEST(GSet, AddAndContains) {
+  GSet<std::string> s;
+  s.add("a");
+  s.add("b");
+  s.add("a");
+  EXPECT_TRUE(s.contains("a"));
+  EXPECT_FALSE(s.contains("c"));
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(GSet, MergeConvergesRegardlessOfOrder) {
+  GSet<int> a, b;
+  a.add(1);
+  a.add(2);
+  b.add(3);
+  GSet<int> ab = a;
+  ab.merge(b);
+  GSet<int> ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab, ba);
+  EXPECT_EQ(ab.size(), 3u);
+}
+
+TEST(GCounter, PerNodeContributionsSum) {
+  GCounter c;
+  c.increment(0);
+  c.increment(0, 4);
+  c.increment(1, 2);
+  EXPECT_EQ(c.value(), 7u);
+}
+
+TEST(GCounter, MergeTakesPerNodeMax) {
+  GCounter a;
+  a.increment(0, 5);
+  GCounter b;
+  b.increment(0, 3);  // stale view of node 0
+  b.increment(1, 2);
+  a.merge(b);
+  EXPECT_EQ(a.value(), 7u);  // 5 (max) + 2
+}
+
+TEST(GCounter, LeqIsPointwise) {
+  GCounter a;
+  a.increment(0, 2);
+  GCounter b = a;
+  b.increment(1);
+  EXPECT_TRUE(a.leq(b));
+  EXPECT_FALSE(b.leq(a));
+}
+
+TEST(PNCounter, IncrementDecrement) {
+  PNCounter c;
+  c.increment(0, 10);
+  c.decrement(1, 3);
+  EXPECT_EQ(c.value(), 7);
+  c.decrement(0, 10);
+  EXPECT_EQ(c.value(), -3);
+}
+
+TEST(TwoPhaseSet, RemoveWinsOverAdd) {
+  TwoPhaseSet<int> s;
+  s.add(1);
+  s.remove(1);
+  s.add(1);  // re-add after remove: stays removed (2P semantics)
+  EXPECT_FALSE(s.contains(1));
+  s.add(2);
+  EXPECT_TRUE(s.contains(2));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(TwoPhaseSet, MergeUnionsBothPhases) {
+  TwoPhaseSet<int> a, b;
+  a.add(1);
+  b.add(1);
+  b.remove(1);
+  a.merge(b);
+  EXPECT_FALSE(a.contains(1));
+}
+
+TEST(LwwRegister, LastTimestampWins) {
+  LwwRegister<std::string> r;
+  r.write(10, 0, "old");
+  r.write(20, 1, "new");
+  r.write(15, 2, "middle");
+  ASSERT_TRUE(r.read().has_value());
+  EXPECT_EQ(*r.read(), "new");
+}
+
+TEST(LwwRegister, WriterIdBreaksTimestampTies) {
+  LwwRegister<std::string> a, b;
+  a.write(10, 1, "from-1");
+  b.write(10, 2, "from-2");
+  a.merge(b);
+  EXPECT_EQ(*a.read(), "from-2");
+  LwwRegister<std::string> c;
+  c.write(10, 2, "from-2");
+  c.merge([] {
+    LwwRegister<std::string> tmp;
+    tmp.write(10, 1, "from-1");
+    return tmp;
+  }());
+  EXPECT_EQ(*c.read(), "from-2");  // same winner from either merge order
+}
+
+// ---- Convergence property: any order of the same updates merges equal ----
+
+template <typename Crdt, typename ApplyFn>
+void check_convergence(std::uint64_t seed, ApplyFn apply, int updates) {
+  std::mt19937_64 rng(seed);
+  std::vector<int> ops(updates);
+  for (int i = 0; i < updates; ++i) ops[i] = i;
+
+  // Replica A applies in order; replica B applies a shuffle.
+  Crdt a, b;
+  for (int op : ops) apply(a, op);
+  std::shuffle(ops.begin(), ops.end(), rng);
+  for (int op : ops) apply(b, op);
+
+  Crdt merged_ab = a;
+  merged_ab.merge(b);
+  Crdt merged_ba = b;
+  merged_ba.merge(a);
+  EXPECT_EQ(merged_ab, merged_ba);
+  EXPECT_EQ(merged_ab, a);  // same update set => same state
+}
+
+class ConvergenceSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ConvergenceSweep, GSet) {
+  check_convergence<GSet<int>>(
+      GetParam(), [](GSet<int>& s, int op) { s.add(op % 17); }, 40);
+}
+
+TEST_P(ConvergenceSweep, GCounterCommutesAcrossNodes) {
+  // Increments from *different* nodes commute; convergence is over the
+  // per-node maxima.
+  std::mt19937_64 rng(GetParam());
+  GCounter a, b;
+  for (int node = 0; node < 5; ++node) {
+    const std::uint64_t amount = rng() % 100;
+    a.increment(static_cast<GCounter::NodeId>(node), amount);
+    b.increment(static_cast<GCounter::NodeId>(node), amount);
+  }
+  a.merge(b);
+  b.merge(a);
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(ConvergenceSweep, TwoPhaseSet) {
+  check_convergence<TwoPhaseSet<int>>(
+      GetParam(),
+      [](TwoPhaseSet<int>& s, int op) {
+        if (op % 3 == 2) {
+          s.remove(op % 11);
+        } else {
+          s.add(op % 11);
+        }
+      },
+      40);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConvergenceSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 11, 23, 47));
+
+}  // namespace
+}  // namespace bla::lattice

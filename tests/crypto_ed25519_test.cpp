@@ -1,0 +1,157 @@
+// Ed25519 against the RFC 8032 §7.1 test vectors, plus behavioural
+// properties (tamper resistance, cross-key rejection, malformed input).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "crypto/ed25519.hpp"
+#include "wire/wire.hpp"
+
+namespace bla::crypto::ed25519 {
+namespace {
+
+Seed seed_from_hex(const std::string& hex) {
+  const wire::Bytes b = wire::from_hex(hex);
+  Seed s{};
+  std::memcpy(s.data(), b.data(), s.size());
+  return s;
+}
+
+std::string hex(std::span<const std::uint8_t> b) { return wire::to_hex(b); }
+
+struct Rfc8032Vector {
+  const char* name;
+  const char* secret;
+  const char* public_key;
+  const char* message;
+  const char* signature;
+};
+
+const Rfc8032Vector kVectors[] = {
+    {"TEST1_empty",
+     "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60",
+     "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a",
+     "",
+     "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155"
+     "5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b"},
+    {"TEST2_one_byte",
+     "4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb",
+     "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c",
+     "72",
+     "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da"
+     "085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00"},
+    {"TEST3_two_bytes",
+     "c5aa8df43f9f837bedb7442f31dcb7b166d38535076f094b85ce3a2e0b4458f7",
+     "fc51cd8e6218a1a38da47ed00230f0580816ed13ba3303ac5deb911548908025",
+     "af82",
+     "6291d657deec24024827e69c3abe01a30ce548a284743a445e3680d7db5ac3ac"
+     "18ff9b538d16f290ae67f760984dc6594a7c15e9716ed28dc027beceea1ec40a"},
+};
+
+class Rfc8032 : public ::testing::TestWithParam<Rfc8032Vector> {};
+
+TEST_P(Rfc8032, PublicKeyDerivation) {
+  const auto& v = GetParam();
+  const Keypair kp = keypair_from_seed(seed_from_hex(v.secret));
+  EXPECT_EQ(hex(kp.public_key), v.public_key);
+}
+
+TEST_P(Rfc8032, SignatureMatches) {
+  const auto& v = GetParam();
+  const Keypair kp = keypair_from_seed(seed_from_hex(v.secret));
+  const wire::Bytes msg = wire::from_hex(v.message);
+  const Signature sig = sign(kp, msg);
+  EXPECT_EQ(hex(sig), v.signature);
+}
+
+TEST_P(Rfc8032, SignatureVerifies) {
+  const auto& v = GetParam();
+  const Keypair kp = keypair_from_seed(seed_from_hex(v.secret));
+  const wire::Bytes msg = wire::from_hex(v.message);
+  const wire::Bytes sig_bytes = wire::from_hex(v.signature);
+  Signature sig{};
+  std::memcpy(sig.data(), sig_bytes.data(), sig.size());
+  EXPECT_TRUE(verify(kp.public_key, msg, sig));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Vectors, Rfc8032, ::testing::ValuesIn(kVectors),
+    [](const ::testing::TestParamInfo<Rfc8032Vector>& param_info) {
+      return param_info.param.name;
+    });
+
+TEST(Ed25519, SignVerifyRoundTripManyMessages) {
+  const Keypair kp = keypair_from_label(7);
+  for (int i = 0; i < 16; ++i) {
+    wire::Encoder enc;
+    enc.str("message");
+    enc.u32(i);
+    const Signature sig = sign(kp, enc.view());
+    EXPECT_TRUE(verify(kp.public_key, enc.view(), sig)) << i;
+  }
+}
+
+TEST(Ed25519, TamperedMessageRejected) {
+  const Keypair kp = keypair_from_label(1);
+  wire::Bytes msg{1, 2, 3, 4};
+  const Signature sig = sign(kp, msg);
+  msg[2] ^= 1;
+  EXPECT_FALSE(verify(kp.public_key, msg, sig));
+}
+
+TEST(Ed25519, TamperedSignatureRejected) {
+  const Keypair kp = keypair_from_label(2);
+  const wire::Bytes msg{9, 9, 9};
+  Signature sig = sign(kp, msg);
+  for (std::size_t pos : {0u, 31u, 32u, 63u}) {
+    Signature bad = sig;
+    bad[pos] ^= 0x40;
+    EXPECT_FALSE(verify(kp.public_key, msg, bad)) << "pos=" << pos;
+  }
+}
+
+TEST(Ed25519, WrongKeyRejected) {
+  const Keypair kp1 = keypair_from_label(3);
+  const Keypair kp2 = keypair_from_label(4);
+  const wire::Bytes msg{42};
+  const Signature sig = sign(kp1, msg);
+  EXPECT_FALSE(verify(kp2.public_key, msg, sig));
+}
+
+TEST(Ed25519, NonCanonicalScalarRejected) {
+  // S >= L must be rejected (malleability defence).
+  const Keypair kp = keypair_from_label(5);
+  const wire::Bytes msg{1};
+  Signature sig = sign(kp, msg);
+  // Force the scalar to 2^255 - 1, far above L.
+  std::memset(sig.data() + 32, 0xff, 31);
+  sig[63] = 0x7f;
+  EXPECT_FALSE(verify(kp.public_key, msg, sig));
+}
+
+TEST(Ed25519, GarbagePointRejected) {
+  const Keypair kp = keypair_from_label(6);
+  const wire::Bytes msg{1};
+  Signature sig = sign(kp, msg);
+  // Replace R with a y-coordinate that is not on the curve.
+  std::memset(sig.data(), 0x13, 32);
+  sig[31] &= 0x7f;
+  // Either decodes to a different point (verify fails) or fails to decode.
+  EXPECT_FALSE(verify(kp.public_key, msg, sig));
+}
+
+TEST(Ed25519, DistinctLabelsDistinctKeys) {
+  const Keypair a = keypair_from_label(100);
+  const Keypair b = keypair_from_label(101);
+  EXPECT_NE(hex(a.public_key), hex(b.public_key));
+}
+
+TEST(Ed25519, DeterministicSignatures) {
+  const Keypair kp = keypair_from_label(8);
+  const wire::Bytes msg{5, 5, 5};
+  EXPECT_EQ(hex(sign(kp, msg)), hex(sign(kp, msg)));
+}
+
+}  // namespace
+}  // namespace bla::crypto::ed25519

@@ -1,0 +1,163 @@
+// SHA-256 / SHA-512 / HMAC-SHA-256 against published test vectors
+// (FIPS 180-4 examples, RFC 4231).
+
+#include <gtest/gtest.h>
+
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/sha512.hpp"
+#include "wire/wire.hpp"
+
+namespace bla::crypto {
+namespace {
+
+std::string hex256(const Sha256::Digest& d) {
+  return wire::to_hex(std::span(d.data(), d.size()));
+}
+std::string hex512(const Sha512::Digest& d) {
+  return wire::to_hex(std::span(d.data(), d.size()));
+}
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hex256(Sha256::hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hex256(Sha256::hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(hex256(Sha256::hash(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(hex256(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  // Split points hit every buffer-boundary case.
+  const std::string msg =
+      "The quick brown fox jumps over the lazy dog, repeatedly, to cross "
+      "several 64-byte block boundaries in this message.";
+  const auto oneshot = Sha256::hash(msg);
+  for (std::size_t split = 0; split <= msg.size(); split += 7) {
+    Sha256 h;
+    h.update(std::string_view(msg).substr(0, split));
+    h.update(std::string_view(msg).substr(split));
+    EXPECT_EQ(h.finish(), oneshot) << "split=" << split;
+  }
+}
+
+TEST(Sha256, ReusableAfterFinish) {
+  Sha256 h;
+  h.update("abc");
+  (void)h.finish();
+  h.update("abc");
+  EXPECT_EQ(hex256(h.finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha512, EmptyString) {
+  EXPECT_EQ(hex512(Sha512::hash("")),
+            "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce"
+            "47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e");
+}
+
+TEST(Sha512, Abc) {
+  EXPECT_EQ(hex512(Sha512::hash("abc")),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+            "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f");
+}
+
+TEST(Sha512, TwoBlockMessage) {
+  EXPECT_EQ(
+      hex512(Sha512::hash(
+          "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno"
+          "ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu")),
+      "8e959b75dae313da8cf4f72814fc143f8f7779c6eb9f7fa17299aeadb6889018"
+      "501d289e4900f7e4331b99dec4b5433ac7d329eeb6dd26545e96e55b874be909");
+}
+
+TEST(Sha512, IncrementalMatchesOneShot) {
+  const std::string msg(333, 'x');
+  const auto oneshot = Sha512::hash(msg);
+  for (std::size_t split : {0u, 1u, 111u, 127u, 128u, 129u, 333u}) {
+    Sha512 h;
+    h.update(std::string_view(msg).substr(0, split));
+    h.update(std::string_view(msg).substr(split));
+    EXPECT_EQ(h.finish(), oneshot) << "split=" << split;
+  }
+}
+
+// RFC 4231 HMAC-SHA-256 vectors.
+
+TEST(HmacSha256, Rfc4231Case1) {
+  const wire::Bytes key(20, 0x0b);
+  const std::string data = "Hi There";
+  const Mac mac = hmac_sha256(
+      key, std::span(reinterpret_cast<const std::uint8_t*>(data.data()),
+                     data.size()));
+  EXPECT_EQ(wire::to_hex(std::span(mac.data(), mac.size())),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2) {
+  const std::string key = "Jefe";
+  const std::string data = "what do ya want for nothing?";
+  const Mac mac = hmac_sha256(
+      std::span(reinterpret_cast<const std::uint8_t*>(key.data()), key.size()),
+      std::span(reinterpret_cast<const std::uint8_t*>(data.data()),
+                data.size()));
+  EXPECT_EQ(wire::to_hex(std::span(mac.data(), mac.size())),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256, Rfc4231Case3) {
+  const wire::Bytes key(20, 0xaa);
+  const wire::Bytes data(50, 0xdd);
+  const Mac mac = hmac_sha256(key, data);
+  EXPECT_EQ(wire::to_hex(std::span(mac.data(), mac.size())),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256, LongKeyIsHashedFirst) {
+  // RFC 4231 case 6: 131-byte key.
+  const wire::Bytes key(131, 0xaa);
+  const std::string data = "Test Using Larger Than Block-Size Key - Hash Key First";
+  const Mac mac = hmac_sha256(
+      key, std::span(reinterpret_cast<const std::uint8_t*>(data.data()),
+                     data.size()));
+  EXPECT_EQ(wire::to_hex(std::span(mac.data(), mac.size())),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256, MacEqualIsExact) {
+  Mac a{};
+  Mac b{};
+  EXPECT_TRUE(mac_equal(a, b));
+  b[31] ^= 1;
+  EXPECT_FALSE(mac_equal(a, b));
+  b[31] ^= 1;
+  b[0] ^= 0x80;
+  EXPECT_FALSE(mac_equal(a, b));
+}
+
+TEST(HmacSha256, KeySeparation) {
+  const std::string data = "same message";
+  const auto bytes = std::span(
+      reinterpret_cast<const std::uint8_t*>(data.data()), data.size());
+  const wire::Bytes k1{1, 2, 3};
+  const wire::Bytes k2{1, 2, 4};
+  EXPECT_FALSE(mac_equal(hmac_sha256(k1, bytes), hmac_sha256(k2, bytes)));
+}
+
+}  // namespace
+}  // namespace bla::crypto

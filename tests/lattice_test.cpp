@@ -1,0 +1,258 @@
+// Lattice library tests: semilattice axioms (property-checked over random
+// elements), the concrete lattices, and the ValueSet codec.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "lattice/crdt.hpp"
+#include "lattice/lattice.hpp"
+#include "lattice/set_lattice.hpp"
+#include "lattice/value.hpp"
+
+namespace bla::lattice {
+namespace {
+
+static_assert(JoinSemilattice<SetLattice<int>>);
+static_assert(JoinSemilattice<MaxLattice<int>>);
+static_assert(JoinSemilattice<MinLattice<int>>);
+static_assert(JoinSemilattice<VersionVector>);
+static_assert(JoinSemilattice<PairLattice<MaxLattice<int>, SetLattice<int>>>);
+static_assert(JoinSemilattice<MapLattice<int, MaxLattice<int>>>);
+static_assert(JoinSemilattice<GSet<int>>);
+static_assert(JoinSemilattice<GCounter>);
+static_assert(JoinSemilattice<PNCounter>);
+static_assert(JoinSemilattice<TwoPhaseSet<int>>);
+static_assert(JoinSemilattice<LwwRegister<int>>);
+
+SetLattice<int> random_set(std::mt19937_64& rng, int universe = 12) {
+  SetLattice<int> s;
+  const std::size_t count = rng() % 6;
+  for (std::size_t i = 0; i < count; ++i) {
+    s.insert(static_cast<int>(rng() % universe));
+  }
+  return s;
+}
+
+// ---- Semilattice axioms as properties over random SetLattice elements ----
+
+TEST(SetLatticeAxioms, JoinIsIdempotent) {
+  std::mt19937_64 rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const auto a = random_set(rng);
+    EXPECT_EQ(join(a, a), a);
+  }
+}
+
+TEST(SetLatticeAxioms, JoinIsCommutative) {
+  std::mt19937_64 rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const auto a = random_set(rng);
+    const auto b = random_set(rng);
+    EXPECT_EQ(join(a, b), join(b, a));
+  }
+}
+
+TEST(SetLatticeAxioms, JoinIsAssociative) {
+  std::mt19937_64 rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const auto a = random_set(rng);
+    const auto b = random_set(rng);
+    const auto c = random_set(rng);
+    EXPECT_EQ(join(join(a, b), c), join(a, join(b, c)));
+  }
+}
+
+TEST(SetLatticeAxioms, OrderAgreesWithJoin) {
+  // a ≤ b iff a ⊕ b == b — the defining equivalence of §3.
+  std::mt19937_64 rng(4);
+  for (int i = 0; i < 500; ++i) {
+    const auto a = random_set(rng);
+    const auto b = random_set(rng);
+    EXPECT_EQ(a.leq(b), join(a, b) == b);
+  }
+}
+
+TEST(SetLatticeAxioms, JoinIsUpperBound) {
+  std::mt19937_64 rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const auto a = random_set(rng);
+    const auto b = random_set(rng);
+    const auto j = join(a, b);
+    EXPECT_TRUE(a.leq(j));
+    EXPECT_TRUE(b.leq(j));
+  }
+}
+
+// ---- SetLattice specifics ----
+
+TEST(SetLattice, InsertReportsGrowth) {
+  SetLattice<int> s;
+  EXPECT_TRUE(s.insert(3));
+  EXPECT_FALSE(s.insert(3));
+  EXPECT_TRUE(s.insert(1));
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(SetLattice, ElementsStaySortedUnique) {
+  SetLattice<int> s{5, 1, 3, 1, 5};
+  EXPECT_EQ(s.elements(), (std::vector<int>{1, 3, 5}));
+}
+
+TEST(SetLattice, MergeIsUnion) {
+  SetLattice<int> a{1, 2};
+  const SetLattice<int> b{2, 3};
+  a.merge(b);
+  EXPECT_EQ(a.elements(), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SetLattice, WouldGrowBy) {
+  SetLattice<int> a{1, 2, 3};
+  EXPECT_FALSE(a.would_grow_by(SetLattice<int>{1, 3}));
+  EXPECT_TRUE(a.would_grow_by(SetLattice<int>{4}));
+  EXPECT_FALSE(a.would_grow_by(SetLattice<int>{}));
+}
+
+TEST(SetLattice, IncomparableElementsExist) {
+  const SetLattice<int> a{1};
+  const SetLattice<int> b{2};
+  EXPECT_FALSE(comparable(a, b));
+  EXPECT_TRUE(comparable(a, join(a, b)));
+}
+
+TEST(SetLattice, SetMinus) {
+  const SetLattice<int> a{1, 2, 3};
+  const SetLattice<int> b{2};
+  EXPECT_EQ(set_minus(a, b).elements(), (std::vector<int>{1, 3}));
+}
+
+// ---- Figure 1 of the paper: power set of {1,2,3,4} under union ----
+
+TEST(Figure1, HasseRelations) {
+  const SetLattice<int> s1{1};
+  const SetLattice<int> s134{1, 3, 4};
+  const SetLattice<int> s2{2};
+  const SetLattice<int> s3{3};
+  const SetLattice<int> s23{2, 3};
+  EXPECT_TRUE(s1.leq(s134));        // {1} ≤ {1,3,4}
+  EXPECT_FALSE(s2.leq(s3));         // {2} ≰ {3}
+  EXPECT_EQ(join(s1, s23), (SetLattice<int>{1, 2, 3}));  // {1}⊕{2,3}
+  const auto j = join(s1, s23);
+  EXPECT_TRUE(s1.leq(j));
+  EXPECT_TRUE(s23.leq(j));
+}
+
+// ---- Other lattices ----
+
+TEST(MaxLattice, JoinTakesMax) {
+  MaxLattice<int> a(3);
+  a.merge(MaxLattice<int>(7));
+  EXPECT_EQ(a.value(), 7);
+  a.merge(MaxLattice<int>(2));
+  EXPECT_EQ(a.value(), 7);
+  EXPECT_TRUE(MaxLattice<int>(3).leq(a));
+}
+
+TEST(MinLattice, JoinTakesMinAndOrderIsReversed) {
+  MinLattice<int> a(3);
+  a.merge(MinLattice<int>(7));
+  EXPECT_EQ(a.value(), 3);
+  a.merge(MinLattice<int>(1));
+  EXPECT_EQ(a.value(), 1);
+  EXPECT_TRUE(MinLattice<int>(3).leq(MinLattice<int>(1)));
+  EXPECT_FALSE(MinLattice<int>(1).leq(MinLattice<int>(3)));
+}
+
+TEST(PairLattice, ComponentwiseOrder) {
+  using P = PairLattice<MaxLattice<int>, MaxLattice<int>>;
+  const P a(MaxLattice<int>(1), MaxLattice<int>(5));
+  const P b(MaxLattice<int>(2), MaxLattice<int>(3));
+  EXPECT_FALSE(a.leq(b));
+  EXPECT_FALSE(b.leq(a));  // incomparable
+  const P j = join(a, b);
+  EXPECT_EQ(j.first().value(), 2);
+  EXPECT_EQ(j.second().value(), 5);
+}
+
+TEST(MapLattice, PointwiseJoinWithAbsentAsBottom) {
+  MapLattice<std::string, MaxLattice<int>> a;
+  a.update("x", MaxLattice<int>(1));
+  MapLattice<std::string, MaxLattice<int>> b;
+  b.update("x", MaxLattice<int>(4));
+  b.update("y", MaxLattice<int>(2));
+  EXPECT_TRUE(a.leq(b));
+  EXPECT_FALSE(b.leq(a));
+  a.merge(b);
+  EXPECT_EQ(a.find("x")->value(), 4);
+  EXPECT_EQ(a.find("y")->value(), 2);
+  EXPECT_EQ(a.find("z"), nullptr);
+}
+
+TEST(VersionVector, CausalOrder) {
+  VersionVector a;
+  a.bump(0);
+  a.bump(0);
+  VersionVector b = a;
+  b.bump(1);
+  EXPECT_TRUE(a.leq(b));
+  VersionVector c;
+  c.bump(2);
+  EXPECT_FALSE(a.leq(c));
+  EXPECT_FALSE(c.leq(a));  // concurrent
+  c.merge(b);
+  EXPECT_EQ(c.get(0), 2u);
+  EXPECT_EQ(c.get(1), 1u);
+  EXPECT_EQ(c.get(2), 1u);
+}
+
+// ---- Value / ValueSet codec ----
+
+TEST(ValueCodec, RoundTrip) {
+  ValueSet s;
+  s.insert(value_from("alpha"));
+  s.insert(value_from("beta"));
+  wire::Encoder enc;
+  encode_value_set(enc, s);
+  wire::Decoder dec(enc.view());
+  EXPECT_EQ(decode_value_set(dec), s);
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(ValueCodec, EmptySet) {
+  ValueSet s;
+  wire::Encoder enc;
+  encode_value_set(enc, s);
+  wire::Decoder dec(enc.view());
+  EXPECT_EQ(decode_value_set(dec), s);
+}
+
+TEST(ValueCodec, CanonicalEncodingIsOrderIndependent) {
+  ValueSet a;
+  a.insert(value_from("x"));
+  a.insert(value_from("y"));
+  ValueSet b;
+  b.insert(value_from("y"));
+  b.insert(value_from("x"));
+  wire::Encoder ea, eb;
+  encode_value_set(ea, a);
+  encode_value_set(eb, b);
+  EXPECT_EQ(ea.view(), eb.view());  // SbS signs these bytes
+}
+
+TEST(ValueCodec, RejectsOversizedValue) {
+  wire::Encoder enc;
+  enc.uvarint(1);
+  enc.bytes(wire::Bytes(kMaxValueBytes + 1, 0x41));
+  wire::Decoder dec(enc.view());
+  EXPECT_THROW(decode_value_set(dec), wire::WireError);
+}
+
+TEST(ValueCodec, RejectsAbsurdCardinality) {
+  wire::Encoder enc;
+  enc.uvarint(std::uint64_t{1} << 40);
+  wire::Decoder dec(enc.view());
+  EXPECT_THROW(decode_value_set(dec), wire::WireError);
+}
+
+}  // namespace
+}  // namespace bla::lattice

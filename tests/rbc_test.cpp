@@ -1,0 +1,291 @@
+// Bracha reliable broadcast: validity, agreement, integrity, totality,
+// latency, and behaviour under equivocation and malformed frames —
+// parameterized over (n, f).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+
+#include "core/adversary.hpp"
+#include "net/delay_model.hpp"
+#include "net/sim_network.hpp"
+#include "rbc/bracha.hpp"
+
+namespace bla::rbc {
+namespace {
+
+using net::IContext;
+using net::IProcess;
+using net::NodeId;
+
+/// A correct node that participates in RBC and records deliveries.
+class RbcNode : public IProcess {
+public:
+  RbcNode(NodeId self, std::size_t n, std::size_t f,
+          std::optional<wire::Bytes> to_broadcast = std::nullopt)
+      : to_broadcast_(std::move(to_broadcast)),
+        rbc_(
+            BrachaRbc::Config{self, n, f},
+            [this](NodeId to, wire::Bytes b) { ctx_->send(to, std::move(b)); },
+            [this](NodeId origin, std::uint64_t tag, wire::Bytes payload) {
+              deliveries_[{origin, tag}] = {std::move(payload), ctx_->now()};
+            }) {}
+
+  void on_start(IContext& ctx) override {
+    ctx_ = &ctx;
+    if (to_broadcast_) rbc_.broadcast(0, *to_broadcast_);
+    ctx_ = nullptr;
+  }
+
+  void on_message(IContext& ctx, NodeId from, wire::BytesView bytes) override {
+    ctx_ = &ctx;
+    try {
+      wire::Decoder dec(bytes);
+      const std::uint8_t type = dec.u8();
+      rbc_.handle(from, type, dec);
+    } catch (const wire::WireError&) {
+    }
+    ctx_ = nullptr;
+  }
+
+  struct Delivery {
+    wire::Bytes payload;
+    double time = 0.0;
+  };
+  std::map<std::pair<NodeId, std::uint64_t>, Delivery> deliveries_;
+
+private:
+  std::optional<wire::Bytes> to_broadcast_;
+  BrachaRbc rbc_;
+  IContext* ctx_ = nullptr;
+};
+
+struct Params {
+  std::size_t n;
+  std::size_t f;
+};
+
+class RbcSweep : public ::testing::TestWithParam<Params> {};
+
+TEST_P(RbcSweep, ValidityAndTotalityWithSilentFaults) {
+  const auto [n, f] = GetParam();
+  net::SimNetwork net({.seed = 3, .delay = nullptr});
+  std::vector<RbcNode*> correct;
+  for (NodeId id = 0; id < n; ++id) {
+    if (id >= n - f) {  // last f nodes silent
+      net.add_process(std::make_unique<bla::core::SilentProcess>());
+      continue;
+    }
+    auto node = std::make_unique<RbcNode>(
+        id, n, f, wire::Bytes{static_cast<std::uint8_t>(id)});
+    correct.push_back(node.get());
+    net.add_process(std::move(node));
+  }
+  net.run();
+  // Every correct broadcast delivered everywhere, with the right payload.
+  for (const RbcNode* node : correct) {
+    for (NodeId origin = 0; origin < n - f; ++origin) {
+      auto it = node->deliveries_.find({origin, 0});
+      ASSERT_NE(it, node->deliveries_.end())
+          << "missing delivery of " << origin;
+      EXPECT_EQ(it->second.payload,
+                wire::Bytes{static_cast<std::uint8_t>(origin)});
+    }
+  }
+}
+
+TEST_P(RbcSweep, AgreementUnderEquivocation) {
+  const auto [n, f] = GetParam();
+  if (f == 0) GTEST_SKIP() << "needs a Byzantine slot";
+  net::SimNetwork net({.seed = 11, .delay = nullptr});
+  std::vector<RbcNode*> correct;
+  const NodeId byz = static_cast<NodeId>(n - 1);
+  for (NodeId id = 0; id < n; ++id) {
+    if (id == byz) {
+      net.add_process(std::make_unique<bla::core::EquivocatingDiscloser>(
+          n, wire::Bytes{'A'}, wire::Bytes{'B'}));
+      continue;
+    }
+    if (id >= n - f) {  // remaining Byzantine slots: silent
+      net.add_process(std::make_unique<bla::core::SilentProcess>());
+      continue;
+    }
+    auto node = std::make_unique<RbcNode>(id, n, f);
+    correct.push_back(node.get());
+    net.add_process(std::move(node));
+  }
+  net.run();
+
+  // Agreement: if any correct node delivered the equivocator's instance,
+  // all deliveries carry the same payload.
+  std::optional<wire::Bytes> first;
+  for (const RbcNode* node : correct) {
+    auto it = node->deliveries_.find({byz, 0});
+    if (it == node->deliveries_.end()) continue;
+    if (!first) {
+      first = it->second.payload;
+    } else {
+      EXPECT_EQ(it->second.payload, *first) << "equivocation delivered!";
+    }
+  }
+  // Totality: delivered-at-one => delivered-at-all.
+  if (first) {
+    for (const RbcNode* node : correct) {
+      EXPECT_TRUE(node->deliveries_.contains({byz, 0}));
+    }
+  }
+}
+
+TEST_P(RbcSweep, DeliveryWithinThreeMessageDelays) {
+  const auto [n, f] = GetParam();
+  net::SimNetwork net(
+      {.seed = 5, .delay = std::make_unique<net::ConstantDelay>(1.0)});
+  std::vector<RbcNode*> nodes;
+  for (NodeId id = 0; id < n; ++id) {
+    auto node = std::make_unique<RbcNode>(
+        id, n, f, id == 0 ? std::optional(wire::Bytes{'x'}) : std::nullopt);
+    nodes.push_back(node.get());
+    net.add_process(std::move(node));
+  }
+  net.run();
+  for (const RbcNode* node : nodes) {
+    auto it = node->deliveries_.find({0, 0});
+    ASSERT_NE(it, node->deliveries_.end());
+    EXPECT_LE(it->second.time, 3.0);  // SEND + ECHO + READY
+  }
+}
+
+TEST_P(RbcSweep, MessageComplexityIsQuadratic) {
+  const auto [n, f] = GetParam();
+  net::SimNetwork net({.seed = 5, .delay = nullptr});
+  for (NodeId id = 0; id < n; ++id) {
+    net.add_process(std::make_unique<RbcNode>(
+        id, n, f, id == 0 ? std::optional(wire::Bytes{'x'}) : std::nullopt));
+  }
+  net.run();
+  // One broadcast: n SENDs + n·n ECHOs + n·n READYs, so ≤ 2n² + n.
+  EXPECT_LE(net.total_messages(), 2 * n * n + n);
+  EXPECT_GE(net.total_messages(), n * n);  // and genuinely quadratic
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RbcSweep,
+                         ::testing::Values(Params{4, 1}, Params{7, 2},
+                                           Params{10, 3}, Params{13, 4},
+                                           Params{5, 1}, Params{9, 2}),
+                         [](const auto& param_info) {
+                           return "n" + std::to_string(param_info.param.n) + "f" +
+                                  std::to_string(param_info.param.f);
+                         });
+
+TEST(Rbc, IntegrityOneDeliveryPerInstance) {
+  // Even if the broadcaster re-SENDs, only one delivery fires.
+  constexpr std::size_t n = 4, f = 1;
+  net::SimNetwork net({.seed = 1, .delay = nullptr});
+
+  class DoubleSender final : public IProcess {
+  public:
+    void on_start(IContext& ctx) override {
+      for (int rep = 0; rep < 3; ++rep) {
+        wire::Encoder enc;
+        enc.u8(static_cast<std::uint8_t>(MsgType::kSend));
+        enc.u64(0);
+        enc.bytes(wire::Bytes{'x'});
+        ctx.broadcast(enc.take());
+      }
+    }
+    void on_message(IContext&, NodeId, wire::BytesView) override {}
+  };
+
+  std::vector<RbcNode*> nodes;
+  net.add_process(std::make_unique<DoubleSender>());
+  for (NodeId id = 1; id < n; ++id) {
+    auto node = std::make_unique<RbcNode>(id, n, f);
+    nodes.push_back(node.get());
+    net.add_process(std::move(node));
+  }
+  net.run();
+  for (const RbcNode* node : nodes) {
+    EXPECT_LE(node->deliveries_.size(), 1u);
+  }
+}
+
+TEST(Rbc, DistinctTagsAreIndependentInstances) {
+  constexpr std::size_t n = 4, f = 1;
+  net::SimNetwork net({.seed = 1, .delay = nullptr});
+
+  class MultiTag final : public IProcess {
+  public:
+    MultiTag(NodeId self, std::size_t n_, std::size_t f_)
+        : rbc_(
+              BrachaRbc::Config{self, n_, f_},
+              [this](NodeId to, wire::Bytes b) {
+                ctx_->send(to, std::move(b));
+              },
+              [this](NodeId, std::uint64_t tag, wire::Bytes) {
+                delivered_tags_.push_back(tag);
+              }) {}
+    void on_start(IContext& ctx) override {
+      ctx_ = &ctx;
+      rbc_.broadcast(1, wire::Bytes{'a'});
+      rbc_.broadcast(2, wire::Bytes{'b'});
+      ctx_ = nullptr;
+    }
+    void on_message(IContext& ctx, NodeId from,
+                    wire::BytesView bytes) override {
+      ctx_ = &ctx;
+      wire::Decoder dec(bytes);
+      rbc_.handle(from, dec.u8(), dec);
+      ctx_ = nullptr;
+    }
+    std::vector<std::uint64_t> delivered_tags_;
+
+  private:
+    BrachaRbc rbc_;
+    IContext* ctx_ = nullptr;
+  };
+
+  std::vector<MultiTag*> nodes;
+  for (NodeId id = 0; id < n; ++id) {
+    auto node = std::make_unique<MultiTag>(id, n, f);
+    if (id != 0) node->delivered_tags_.clear();
+    nodes.push_back(node.get());
+    net.add_process(std::move(node));
+  }
+  // Only node 0 broadcasts; others' on_start also broadcasts in this
+  // helper, so expect 2 tags per origin — the point is tags don't merge.
+  net.run();
+  for (const MultiTag* node : nodes) {
+    // 4 origins x 2 tags = 8 deliveries.
+    EXPECT_EQ(node->delivered_tags_.size(), 8u);
+  }
+}
+
+TEST(Rbc, MalformedFramesAreIgnored) {
+  constexpr std::size_t n = 4, f = 1;
+  net::SimNetwork net({.seed = 9, .delay = nullptr});
+  std::vector<RbcNode*> correct;
+  for (NodeId id = 0; id < 3; ++id) {
+    auto node = std::make_unique<RbcNode>(
+        id, n, f, id == 0 ? std::optional(wire::Bytes{'v'}) : std::nullopt);
+    correct.push_back(node.get());
+    net.add_process(std::move(node));
+  }
+  net.add_process(std::make_unique<bla::core::GarbageSpammer>(1234, 200));
+  net.run();
+  for (const RbcNode* node : correct) {
+    ASSERT_TRUE(node->deliveries_.contains({0, 0}));
+    EXPECT_EQ(node->deliveries_.at({0, 0}).payload, wire::Bytes{'v'});
+  }
+}
+
+TEST(Rbc, QuorumArithmetic) {
+  BrachaRbc rbc({0, 7, 2}, [](NodeId, wire::Bytes) {},
+                [](NodeId, std::uint64_t, wire::Bytes) {});
+  EXPECT_EQ(rbc.echo_quorum(), 5u);    // ⌊(7+2)/2⌋+1
+  EXPECT_EQ(rbc.ready_amplify(), 3u);  // f+1
+  EXPECT_EQ(rbc.ready_deliver(), 5u);  // 2f+1
+}
+
+}  // namespace
+}  // namespace bla::rbc

@@ -1,0 +1,123 @@
+// Theorem 1: Byzantine Lattice Agreement needs n ≥ 3f+1.
+//
+// The impossibility is exercised from both sides:
+//  * at n = 3f, WTS (correctly) sacrifices liveness — its Byzantine
+//    quorum is unreachable, so nobody ever decides unsafely;
+//  * a protocol that keeps liveness at n = 3f with simple-majority
+//    quorums (the crash-only baseline) loses Comparability under the
+//    exact split-brain schedule from the Theorem 1 proof;
+//  * at n = 3f+1, WTS delivers both safety and liveness.
+
+#include <gtest/gtest.h>
+
+#include "core/adversary.hpp"
+#include "core/baseline.hpp"
+#include "core/wts.hpp"
+#include "net/delay_model.hpp"
+#include "testutil/properties.hpp"
+#include "testutil/scenario.hpp"
+
+namespace bla::core {
+namespace {
+
+TEST(Resilience, WtsAtThreeFIsSafeButNotLive) {
+  // n = 3, f = 1, the Byzantine silent: quorum ⌊(3+1)/2⌋+1 = 3 needs all
+  // three processes, so correct processes wait forever — and never decide
+  // anything incomparable.
+  testutil::ScenarioOptions options;
+  options.n = 3;
+  options.f = 1;
+  testutil::WtsScenario scenario(std::move(options));
+  scenario.run();  // network drains completely
+  for (const WtsProcess* proc : scenario.correct()) {
+    EXPECT_FALSE(proc->has_decided());
+  }
+}
+
+TEST(Resilience, WtsAtThreeFWithHelpfulByzantineStaysSafe) {
+  // Even a Byzantine that acks everything cannot make two correct
+  // processes decide incomparably at n = 3 — WTS's quorum intersects in
+  // a correct process regardless.
+  testutil::ScenarioOptions options;
+  options.n = 3;
+  options.f = 1;
+  options.adversary = [](net::NodeId) {
+    return std::make_unique<PromiscuousAcker>();
+  };
+  // The Theorem 1 schedule: links between the two correct processes are
+  // delayed (not cut — the model has no partitions, only asynchrony).
+  options.delay = std::make_unique<net::TargetedDelay>(
+      std::make_unique<net::ConstantDelay>(1.0),
+      [](net::NodeId from, net::NodeId to) {
+        return (from == 0 && to == 1) || (from == 1 && to == 0);
+      },
+      200.0);
+  testutil::WtsScenario scenario(std::move(options));
+  scenario.run();
+  EXPECT_EQ(testutil::check_comparability(scenario.decisions()), "");
+}
+
+TEST(Resilience, MajorityQuorumSplitsBrainAtThreeF) {
+  // The baseline's majority quorum (2 of 3) lets the Theorem 1 adversary
+  // split the system: each correct proposer decides with only its own ack
+  // plus the Byzantine's, before hearing from its correct peer.
+  net::SimNetwork net(
+      {.seed = 1,
+       .delay = std::make_unique<net::TargetedDelay>(
+           std::make_unique<net::ConstantDelay>(1.0),
+           [](net::NodeId from, net::NodeId to) {
+             return (from == 0 && to == 1) || (from == 1 && to == 0);
+           },
+           200.0)});
+  auto* p0 = new BaselineLaProcess({0, 3}, lattice::value_from("x0"));
+  auto* p1 = new BaselineLaProcess({1, 3}, lattice::value_from("x1"));
+  net.add_process(std::unique_ptr<net::IProcess>(p0));
+  net.add_process(std::unique_ptr<net::IProcess>(p1));
+  net.add_process(std::make_unique<PromiscuousAcker>());
+
+  // Run only the prefix of the schedule where the slow links have not yet
+  // delivered (the Theorem 1 argument: decisions must happen before the
+  // correct processes hear from each other).
+  net.run(UINT64_MAX, [&] { return net.now() > 100.0; });
+
+  ASSERT_TRUE(p0->has_decided());
+  ASSERT_TRUE(p1->has_decided());
+  const std::vector<ValueSet> decisions{p0->decision(), p1->decision()};
+  // Comparability IS violated — this is the point of the theorem.
+  EXPECT_NE(testutil::check_comparability(decisions), "");
+}
+
+TEST(Resilience, WtsAtThreeFPlusOneIsSafeAndLive) {
+  for (std::size_t f : {1u, 2u, 3u}) {
+    testutil::ScenarioOptions options;
+    options.n = 3 * f + 1;
+    options.f = f;
+    testutil::WtsScenario scenario(std::move(options));
+    scenario.run();
+    ASSERT_TRUE(scenario.all_correct_decided()) << "f=" << f;
+    EXPECT_EQ(testutil::check_comparability(scenario.decisions()), "")
+        << "f=" << f;
+  }
+}
+
+TEST(Resilience, QuorumArithmetic) {
+  // byz_quorum must (a) intersect any two quorums in a correct process:
+  // 2q - n ≥ f+1, and (b) be reachable by correct processes alone:
+  // q ≤ n - f. Both hold exactly when n ≥ 3f+1.
+  for (std::size_t f = 0; f <= 10; ++f) {
+    const std::size_t n = 3 * f + 1;
+    const std::size_t q = byz_quorum(n, f);
+    EXPECT_GE(2 * q, n + f + 1) << "quorum intersection broken at f=" << f;
+    EXPECT_LE(q, n - f) << "quorum unreachable at f=" << f;
+    EXPECT_EQ(max_faulty(n), f);
+  }
+  // At n = 3f the two requirements conflict.
+  for (std::size_t f = 1; f <= 10; ++f) {
+    const std::size_t n = 3 * f;
+    const std::size_t q = byz_quorum(n, f);
+    EXPECT_GT(q, n - f) << "n=3f should make the quorum unreachable";
+  }
+}
+
+}  // namespace
+}  // namespace bla::core

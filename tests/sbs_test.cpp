@@ -1,0 +1,247 @@
+// SbS (Safety by Signature, §8) property tests: the four safety
+// properties, Theorem 8's 5+4f delay bound, Lemma 16's 2f refinement
+// bound, linear message complexity, the double-signing defence of
+// Lemma 13, and parity across both signature schemes.
+
+#include <gtest/gtest.h>
+
+#include "core/adversary.hpp"
+#include "core/sbs.hpp"
+#include "net/delay_model.hpp"
+#include "testutil/properties.hpp"
+#include "testutil/scenario.hpp"
+
+namespace bla::core {
+namespace {
+
+using testutil::SbsScenario;
+using testutil::SbsScenarioOptions;
+
+/// SbS-specific adversary: double-signs two different values and sends
+/// each half of the system a different signed INIT — the attack the
+/// safetying phase (conflict proofs) exists to neutralize (Lemma 13).
+class DoubleSigner final : public net::IProcess {
+public:
+  DoubleSigner(std::size_t n, std::shared_ptr<const crypto::ISigner> signer)
+      : n_(n), signer_(std::move(signer)) {}
+
+  void on_start(net::IContext& ctx) override {
+    const NodeId self = ctx.self();
+    auto make_init = [&](const char* text) {
+      SignedValue sv;
+      sv.value = lattice::value_from(text);
+      sv.signer = self;
+      sv.signature =
+          signer_->sign(signed_value_signing_bytes(sv.value, self));
+      wire::Encoder enc;
+      enc.u8(static_cast<std::uint8_t>(MsgType::kSbsInit));
+      encode_signed_value(enc, sv);
+      return enc.take();
+    };
+    const wire::Bytes init_a = make_init("double-A");
+    const wire::Bytes init_b = make_init("double-B");
+    for (NodeId to = 0; to < n_; ++to) {
+      ctx.send(to, to < n_ / 2 ? init_a : init_b);
+    }
+  }
+  void on_message(net::IContext&, NodeId, wire::BytesView) override {}
+
+private:
+  std::size_t n_;
+  std::shared_ptr<const crypto::ISigner> signer_;
+};
+
+void check_safety(SbsScenario& scenario, std::size_t n, std::size_t f) {
+  ASSERT_TRUE(scenario.all_correct_decided());
+  EXPECT_EQ(testutil::check_comparability(scenario.decisions()), "");
+  const ValueSet inputs = scenario.correct_inputs();
+  for (std::size_t i = 0; i < scenario.correct().size(); ++i) {
+    const SbsProcess* proc = scenario.correct()[i];
+    EXPECT_EQ(testutil::check_inclusivity(
+                  proc->decision(),
+                  testutil::proposal_value(static_cast<net::NodeId>(i))),
+              "");
+    EXPECT_EQ(testutil::check_non_triviality(proc->decision(), inputs, f),
+              "");
+    EXPECT_LE(proc->refinement_count(), 2 * f);  // Lemma 16
+  }
+  (void)n;
+}
+
+struct Params {
+  std::size_t n;
+  std::size_t f;
+  std::uint64_t seed;
+  bool ed25519;
+};
+
+class SbsSweep : public ::testing::TestWithParam<Params> {};
+
+TEST_P(SbsSweep, SilentByzantine) {
+  const auto& p = GetParam();
+  SbsScenarioOptions options;
+  options.n = p.n;
+  options.f = p.f;
+  options.seed = p.seed;
+  options.use_ed25519 = p.ed25519;
+  SbsScenario scenario(std::move(options));
+  scenario.run();
+  check_safety(scenario, p.n, p.f);
+  // Theorem 8: 5 + 4f message delays.
+  EXPECT_LE(scenario.max_decide_time(),
+            static_cast<double>(5 + 4 * p.f) + 1e-9);
+}
+
+TEST_P(SbsSweep, GarbageSpam) {
+  const auto& p = GetParam();
+  SbsScenarioOptions options;
+  options.n = p.n;
+  options.f = p.f;
+  options.seed = p.seed;
+  options.use_ed25519 = p.ed25519;
+  options.adversary = [](net::NodeId id) {
+    return std::make_unique<GarbageSpammer>(id + 3, 256);
+  };
+  SbsScenario scenario(std::move(options));
+  scenario.run();
+  check_safety(scenario, p.n, p.f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SbsSweep,
+    ::testing::Values(Params{4, 1, 1, false}, Params{4, 1, 2, false},
+                      Params{7, 2, 1, false}, Params{10, 3, 1, false},
+                      Params{4, 1, 1, true}, Params{7, 2, 1, true}),
+    [](const ::testing::TestParamInfo<Params>& param_info) {
+      return std::string(param_info.param.ed25519 ? "Ed" : "Hmac") + "n" +
+             std::to_string(param_info.param.n) + "f" +
+             std::to_string(param_info.param.f) + "s" +
+             std::to_string(param_info.param.seed);
+    });
+
+TEST(Sbs, DoubleSignerIsNeutralized) {
+  // Lemma 13: at most one of the equivocator's values can become safe —
+  // so decisions stay comparable and contain at most f alien values.
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL}) {
+    SbsScenarioOptions options;
+    options.n = 4;
+    options.f = 1;
+    options.seed = seed;
+    // The adversary needs its own (legitimate) signing key: equivocation
+    // is about double-*signing*, not forging.
+    auto signers = crypto::make_hmac_signer_set(4, seed);
+    options.adversary = [signers](net::NodeId id) {
+      return std::make_unique<DoubleSigner>(4, signers->signer_for(id));
+    };
+    SbsScenario scenario(std::move(options));
+    scenario.run();
+    ASSERT_TRUE(scenario.all_correct_decided()) << "seed " << seed;
+    EXPECT_EQ(testutil::check_comparability(scenario.decisions()), "")
+        << "seed " << seed;
+    // Both double-signed values never appear together in one decision.
+    for (const ValueSet& d : scenario.decisions()) {
+      const bool has_a = d.contains(lattice::value_from("double-A"));
+      const bool has_b = d.contains(lattice::value_from("double-B"));
+      EXPECT_FALSE(has_a && has_b) << "seed " << seed;
+    }
+  }
+}
+
+TEST(Sbs, MessageComplexityLinearPerProposer) {
+  // §8.1: O(n) messages per proposer at fixed f — so the *per-process*
+  // count grows linearly, not quadratically, with n.
+  std::vector<double> per_process;
+  for (const std::size_t n : {4u, 8u, 16u, 32u}) {
+    SbsScenarioOptions options;
+    options.n = n;
+    options.f = 1;
+    SbsScenario scenario(std::move(options));
+    scenario.run();
+    ASSERT_TRUE(scenario.all_correct_decided());
+    per_process.push_back(
+        static_cast<double>(scenario.network().metrics(0).messages_sent));
+  }
+  // Doubling n should roughly double (not quadruple) per-process count.
+  for (std::size_t i = 1; i < per_process.size(); ++i) {
+    EXPECT_LT(per_process[i], per_process[i - 1] * 3.0)
+        << "superlinear growth at step " << i;
+  }
+}
+
+TEST(Sbs, AsynchronousDelays) {
+  SbsScenarioOptions options;
+  options.n = 7;
+  options.f = 2;
+  options.seed = 31;
+  options.delay = std::make_unique<net::ExponentialDelay>(1.0);
+  SbsScenario scenario(std::move(options));
+  scenario.run();
+  check_safety(scenario, 7, 2);
+}
+
+TEST(Sbs, SignatureSchemesAgreeOnOutcome) {
+  // Same seed, same topology: both schemes must produce identical
+  // decision chains (the scheme is mechanism, not policy).
+  auto run_with = [](bool ed) {
+    SbsScenarioOptions options;
+    options.n = 4;
+    options.f = 1;
+    options.seed = 5;
+    options.use_ed25519 = ed;
+    SbsScenario scenario(std::move(options));
+    scenario.run();
+    return scenario.decisions();
+  };
+  const auto hmac_decisions = run_with(false);
+  const auto ed_decisions = run_with(true);
+  ASSERT_EQ(hmac_decisions.size(), ed_decisions.size());
+  for (std::size_t i = 0; i < hmac_decisions.size(); ++i) {
+    EXPECT_EQ(hmac_decisions[i], ed_decisions[i]);
+  }
+}
+
+TEST(Sbs, FlagsProvablyByzantineNodes) {
+  // A node that answers safe requests with an unsigned / mismatched
+  // safe-ack is flagged during the safetying phase (Alg. 8 lines 22-23).
+  class BadSafeAcker final : public net::IProcess {
+  public:
+    void on_start(net::IContext&) override {}
+    void on_message(net::IContext& ctx, NodeId from,
+                    wire::BytesView payload) override {
+      try {
+        wire::Decoder dec(payload);
+        if (static_cast<MsgType>(dec.u8()) != MsgType::kSbsSafeReq) return;
+        SafeAck fake;
+        fake.acceptor = ctx.self();
+        fake.signature = wire::Bytes(32, 0xEE);  // invalid signature
+        wire::Encoder enc;
+        enc.u8(static_cast<std::uint8_t>(MsgType::kSbsSafeAck));
+        encode_safe_ack(enc, fake);
+        ctx.send(from, enc.take());
+      } catch (const wire::WireError&) {
+      }
+    }
+  };
+
+  SbsScenarioOptions options;
+  options.n = 4;
+  options.f = 1;
+  options.adversary = [](net::NodeId) {
+    return std::make_unique<BadSafeAcker>();
+  };
+  // Slow node 2's replies so the bad safe-ack is examined while the
+  // proposers are still in the safetying phase (flagging is best-effort
+  // once a quorum has already been reached).
+  options.delay = std::make_unique<net::TargetedDelay>(
+      std::make_unique<net::ConstantDelay>(1.0),
+      [](net::NodeId from, net::NodeId) { return from == 2; }, 3.0);
+  SbsScenario scenario(std::move(options));
+  scenario.run();
+  ASSERT_TRUE(scenario.all_correct_decided());
+  for (const SbsProcess* proc : scenario.correct()) {
+    EXPECT_TRUE(proc->flagged_byzantine().contains(3));  // byz slot is id 3
+  }
+}
+
+}  // namespace
+}  // namespace bla::core

@@ -1,0 +1,80 @@
+// ISigner contract tests, parameterized over both schemes: the protocols
+// only rely on this contract, so both must satisfy it identically.
+
+#include <gtest/gtest.h>
+
+#include "crypto/signer.hpp"
+
+namespace bla::crypto {
+namespace {
+
+enum class Scheme { kEd25519, kHmac };
+
+std::shared_ptr<ISignerSet> make_set(Scheme scheme, std::size_t n,
+                                     std::uint64_t seed) {
+  return scheme == Scheme::kEd25519 ? make_ed25519_signer_set(n, seed)
+                                    : make_hmac_signer_set(n, seed);
+}
+
+class SignerContract : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(SignerContract, SignVerifyRoundTrip) {
+  auto set = make_set(GetParam(), 4, 1);
+  const wire::Bytes msg{1, 2, 3};
+  for (NodeId id = 0; id < 4; ++id) {
+    auto signer = set->signer_for(id);
+    EXPECT_EQ(signer->id(), id);
+    const wire::Bytes sig = signer->sign(msg);
+    EXPECT_TRUE(signer->verify(id, msg, sig));
+  }
+}
+
+TEST_P(SignerContract, CrossNodeVerification) {
+  auto set = make_set(GetParam(), 4, 1);
+  const wire::Bytes msg{9};
+  const wire::Bytes sig = set->signer_for(2)->sign(msg);
+  // Any node can verify node 2's signature.
+  EXPECT_TRUE(set->signer_for(0)->verify(2, msg, sig));
+  EXPECT_TRUE(set->signer_for(3)->verify(2, msg, sig));
+}
+
+TEST_P(SignerContract, SignatureBindsToSigner) {
+  auto set = make_set(GetParam(), 4, 1);
+  const wire::Bytes msg{7, 7};
+  const wire::Bytes sig = set->signer_for(1)->sign(msg);
+  // The same bytes do not verify as anyone else's signature.
+  EXPECT_FALSE(set->signer_for(0)->verify(0, msg, sig));
+  EXPECT_FALSE(set->signer_for(0)->verify(2, msg, sig));
+}
+
+TEST_P(SignerContract, SignatureBindsToMessage) {
+  auto set = make_set(GetParam(), 4, 1);
+  const wire::Bytes sig = set->signer_for(1)->sign(wire::Bytes{1});
+  EXPECT_FALSE(set->signer_for(0)->verify(1, wire::Bytes{2}, sig));
+}
+
+TEST_P(SignerContract, RejectsMalformedSignatures) {
+  auto set = make_set(GetParam(), 4, 1);
+  const wire::Bytes msg{3};
+  EXPECT_FALSE(set->signer_for(0)->verify(1, msg, wire::Bytes{}));
+  EXPECT_FALSE(set->signer_for(0)->verify(1, msg, wire::Bytes(7, 0xab)));
+  EXPECT_FALSE(set->signer_for(0)->verify(99, msg, wire::Bytes(64, 0)));
+}
+
+TEST_P(SignerContract, DistinctSystemSeedsDistinctKeys) {
+  auto set1 = make_set(GetParam(), 2, 1);
+  auto set2 = make_set(GetParam(), 2, 2);
+  const wire::Bytes msg{1};
+  const wire::Bytes sig = set1->signer_for(0)->sign(msg);
+  EXPECT_FALSE(set2->signer_for(0)->verify(0, msg, sig));
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, SignerContract,
+                         ::testing::Values(Scheme::kEd25519, Scheme::kHmac),
+                         [](const auto& param_info) {
+                           return param_info.param == Scheme::kEd25519 ? "Ed25519"
+                                                                 : "Hmac";
+                         });
+
+}  // namespace
+}  // namespace bla::crypto

@@ -1,0 +1,158 @@
+// The big interaction matrix: asynchrony model × adversary × system
+// size, for WTS. Byzantine behaviour and adversarial scheduling interact
+// (e.g. an equivocator is far more dangerous when the schedule splits the
+// system), so the safety properties are swept over the cross product
+// rather than each axis alone.
+
+#include <gtest/gtest.h>
+
+#include "core/adversary.hpp"
+#include "core/wts.hpp"
+#include "net/delay_model.hpp"
+#include "testutil/properties.hpp"
+#include "testutil/scenario.hpp"
+
+namespace bla::core {
+namespace {
+
+enum class Delay { kUnit, kUniform, kExponential, kSplit, kStarve };
+enum class Foe { kSilent, kEquivocate, kNackSpam, kAckAll };
+
+const char* delay_name(Delay d) {
+  switch (d) {
+    case Delay::kUnit: return "Unit";
+    case Delay::kUniform: return "Uniform";
+    case Delay::kExponential: return "Expo";
+    case Delay::kSplit: return "Split";
+    case Delay::kStarve: return "Starve";
+  }
+  return "?";
+}
+
+const char* foe_name(Foe a) {
+  switch (a) {
+    case Foe::kSilent: return "Silent";
+    case Foe::kEquivocate: return "Equiv";
+    case Foe::kNackSpam: return "Nack";
+    case Foe::kAckAll: return "AckAll";
+  }
+  return "?";
+}
+
+std::unique_ptr<net::IDelayModel> make_delay(Delay d, std::size_t n) {
+  switch (d) {
+    case Delay::kUnit:
+      return std::make_unique<net::ConstantDelay>(1.0);
+    case Delay::kUniform:
+      return std::make_unique<net::UniformDelay>(0.1, 3.0);
+    case Delay::kExponential:
+      return std::make_unique<net::ExponentialDelay>(1.0);
+    case Delay::kSplit: {
+      // Partition-ish schedule: links across the halves are very slow.
+      const net::NodeId half = static_cast<net::NodeId>(n / 2);
+      return std::make_unique<net::TargetedDelay>(
+          std::make_unique<net::ConstantDelay>(1.0),
+          [half](net::NodeId from, net::NodeId to) {
+            return (from < half) != (to < half);
+          },
+          30.0);
+    }
+    case Delay::kStarve:
+      // Node 0 is starved of timely traffic in both directions.
+      return std::make_unique<net::TargetedDelay>(
+          std::make_unique<net::ConstantDelay>(1.0),
+          [](net::NodeId from, net::NodeId to) {
+            return from == 0 || to == 0;
+          },
+          40.0);
+  }
+  return nullptr;
+}
+
+testutil::AdversaryFactory make_foe(Foe a, std::size_t n) {
+  switch (a) {
+    case Foe::kSilent:
+      return nullptr;
+    case Foe::kEquivocate:
+      return [n](net::NodeId id) -> std::unique_ptr<net::IProcess> {
+        wire::Encoder va, vb;
+        va.str("mA");
+        va.u32(id);
+        vb.str("mB");
+        vb.u32(id);
+        return std::make_unique<EquivocatingDiscloser>(n, va.take(),
+                                                       vb.take());
+      };
+    case Foe::kNackSpam:
+      return [](net::NodeId) { return std::make_unique<UnsafeNackSpammer>(); };
+    case Foe::kAckAll:
+      return [](net::NodeId) { return std::make_unique<PromiscuousAcker>(); };
+  }
+  return nullptr;
+}
+
+struct MatrixParams {
+  std::size_t n;
+  std::size_t f;
+  Delay delay;
+  Foe foe;
+};
+
+class WtsMatrix : public ::testing::TestWithParam<MatrixParams> {};
+
+TEST_P(WtsMatrix, SafeAndLive) {
+  const auto& p = GetParam();
+  for (std::uint64_t seed : {1ULL, 17ULL}) {
+    testutil::ScenarioOptions options;
+    options.n = p.n;
+    options.f = p.f;
+    options.seed = seed;
+    options.delay = make_delay(p.delay, p.n);
+    options.adversary = make_foe(p.foe, p.n);
+    testutil::WtsScenario scenario(std::move(options));
+    scenario.run();
+
+    ASSERT_TRUE(scenario.all_correct_decided())
+        << delay_name(p.delay) << "/" << foe_name(p.foe) << " seed " << seed;
+    EXPECT_EQ(testutil::check_comparability(scenario.decisions()), "")
+        << delay_name(p.delay) << "/" << foe_name(p.foe) << " seed " << seed;
+    const ValueSet inputs = scenario.correct_inputs();
+    for (std::size_t i = 0; i < scenario.correct().size(); ++i) {
+      const auto* proc = scenario.correct()[i];
+      EXPECT_EQ(testutil::check_inclusivity(
+                    proc->decision(),
+                    testutil::proposal_value(static_cast<net::NodeId>(i))),
+                "");
+      EXPECT_EQ(
+          testutil::check_non_triviality(proc->decision(), inputs, p.f), "");
+      EXPECT_LE(proc->refinement_count(), p.f);  // Lemma 3, any schedule
+    }
+  }
+}
+
+std::vector<MatrixParams> matrix() {
+  std::vector<MatrixParams> out;
+  const Delay delays[] = {Delay::kUnit, Delay::kUniform, Delay::kExponential,
+                          Delay::kSplit, Delay::kStarve};
+  const Foe foes[] = {Foe::kSilent, Foe::kEquivocate, Foe::kNackSpam,
+                      Foe::kAckAll};
+  for (const auto& [n, f] :
+       {std::pair<std::size_t, std::size_t>{4, 1}, {7, 2}}) {
+    for (Delay d : delays) {
+      for (Foe a : foes) {
+        out.push_back({n, f, d, a});
+      }
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, WtsMatrix, ::testing::ValuesIn(matrix()),
+    [](const ::testing::TestParamInfo<MatrixParams>& param_info) {
+      return "n" + std::to_string(param_info.param.n) +
+             delay_name(param_info.param.delay) + foe_name(param_info.param.foe);
+    });
+
+}  // namespace
+}  // namespace bla::core
