@@ -1,0 +1,86 @@
+#include "batch/batch.hpp"
+
+namespace bla::batch {
+
+namespace {
+constexpr std::string_view kDigestDomain = "bla.batch.v1";
+}  // namespace
+
+bool structurally_valid(const SignedCommandBatch& b) {
+  if (b.commands.empty() || b.commands.size() > kMaxBatchCommands ||
+      b.signature.size() > kMaxSignatureBytes) {
+    return false;
+  }
+  std::size_t bytes = 0;
+  for (const Value& v : b.commands) {
+    if (v.empty() || v[0] == kBatchMagic) return false;
+    bytes += v.size();
+    if (bytes > kMaxBatchBytes) return false;
+  }
+  return true;
+}
+
+wire::Bytes batch_body(const SignedCommandBatch& b) {
+  wire::Encoder enc;
+  enc.u8(kBatchMagic);
+  enc.u32(b.proposer);
+  enc.u64(b.seq);
+  enc.uvarint(b.commands.size());
+  for (const Value& v : b.commands) enc.bytes(v);
+  return enc.take();
+}
+
+crypto::Sha256::Digest batch_digest(const SignedCommandBatch& b) {
+  crypto::Sha256 h;
+  h.update(kDigestDomain);
+  h.update(batch_body(b));
+  return h.finish();
+}
+
+void encode_signed_batch(wire::Encoder& enc, const SignedCommandBatch& b) {
+  enc.raw(batch_body(b));
+  enc.bytes(b.signature);
+}
+
+SignedCommandBatch decode_signed_batch(wire::Decoder& dec) {
+  if (dec.u8() != kBatchMagic) throw wire::WireError("bad batch magic");
+  SignedCommandBatch b;
+  b.proposer = dec.u32();
+  b.seq = dec.u64();
+  const std::uint64_t count = dec.uvarint();
+  // Parse-time caps keep the loop's allocation bounded; the full rule
+  // set is the shared structurally_valid() below.
+  if (count > kMaxBatchCommands) throw wire::WireError("oversized batch");
+  std::size_t body_bytes = 0;
+  b.commands.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Value v = dec.bytes();
+    body_bytes += v.size();
+    if (body_bytes > kMaxBatchBytes) {
+      throw wire::WireError("batch exceeds byte cap");
+    }
+    b.commands.push_back(std::move(v));
+  }
+  b.signature = dec.bytes();
+  if (!structurally_valid(b)) throw wire::WireError("malformed batch");
+  return b;
+}
+
+Value batch_value(const SignedCommandBatch& b) {
+  wire::Encoder enc;
+  encode_signed_batch(enc, b);
+  return enc.take();
+}
+
+std::optional<SignedCommandBatch> decode_batch_value(const Value& v) {
+  try {
+    wire::Decoder dec(v);
+    SignedCommandBatch b = decode_signed_batch(dec);
+    dec.expect_done();
+    return b;
+  } catch (const wire::WireError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace bla::batch

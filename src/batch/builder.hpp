@@ -1,0 +1,76 @@
+#pragma once
+// Batched proposal pipeline, layer 2: the BatchBuilder.
+//
+// Accumulates encoded commands into size/byte/time-bounded batches, then
+// seals each one with a single signature over the batch digest. Sealing
+// policy mirrors production batchers (cf. the Logos BatchStateBlock
+// pre-prepares in SNIPPETS.md): flush when the command-count or byte
+// bound fills, or when the oldest queued command has waited max_delay —
+// whichever comes first. The caller drives time explicitly (`now`), so
+// the builder works identically under the simulated clock and the real
+// one.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "batch/batch.hpp"
+#include "crypto/signer.hpp"
+
+namespace bla::batch {
+
+struct BatchBuilderConfig {
+  NodeId proposer = 0;
+  /// Size bound B: seal after this many commands. Clamped into
+  /// [1, kMaxBatchCommands].
+  std::size_t max_commands = 64;
+  /// Byte bound on the accumulated command payload.
+  std::size_t max_bytes = kMaxBatchBytes;
+  /// Time bound: flush_due(now) seals a partial batch once its oldest
+  /// command has waited this long. 0 disables the time bound.
+  double max_delay = 0.0;
+};
+
+class BatchBuilder {
+public:
+  BatchBuilder(BatchBuilderConfig config,
+               std::shared_ptr<const crypto::ISigner> signer);
+
+  /// Queues one encoded command; returns a sealed batch when the size or
+  /// byte bound fills. Commands that could never be batched (empty,
+  /// batch-magic-prefixed, oversized) are dropped and counted.
+  [[nodiscard]] std::optional<SignedCommandBatch> add(Value command,
+                                                      double now);
+
+  /// Time-bound flush: seals the pending partial batch iff the oldest
+  /// queued command has waited ≥ max_delay.
+  [[nodiscard]] std::optional<SignedCommandBatch> flush_due(double now);
+
+  /// Unconditional flush of whatever is pending (used at end-of-stream).
+  [[nodiscard]] std::optional<SignedCommandBatch> flush();
+
+  [[nodiscard]] std::size_t pending_commands() const {
+    return pending_.size();
+  }
+  [[nodiscard]] std::uint64_t batches_sealed() const {
+    return batches_sealed_;
+  }
+  [[nodiscard]] std::uint64_t commands_dropped() const {
+    return commands_dropped_;
+  }
+
+private:
+  [[nodiscard]] SignedCommandBatch seal();
+
+  BatchBuilderConfig config_;
+  std::shared_ptr<const crypto::ISigner> signer_;
+  std::vector<Value> pending_;
+  std::size_t pending_bytes_ = 0;
+  double oldest_enqueue_time_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t batches_sealed_ = 0;
+  std::uint64_t commands_dropped_ = 0;
+};
+
+}  // namespace bla::batch

@@ -1,0 +1,88 @@
+#include "batch/client.hpp"
+
+#include "lattice/value.hpp"
+
+namespace bla::batch {
+
+namespace {
+[[nodiscard]] BatchBuilderConfig with_proposer(BatchBuilderConfig cfg,
+                                               NodeId proposer) {
+  cfg.proposer = proposer;
+  return cfg;
+}
+}  // namespace
+
+BatchClient::BatchClient(Config config,
+                         std::shared_ptr<const crypto::ISigner> signer,
+                         std::vector<lattice::Value> commands)
+    : config_(config),
+      builder_(with_proposer(config.builder, config.self), std::move(signer)),
+      pipeline_(BatchProposer::Config{config.max_in_flight, config.f + 1}),
+      queue_(commands.begin(), commands.end()),
+      total_commands_(commands.size()) {}
+
+void BatchClient::on_start(net::IContext& ctx) {
+  pump(ctx);
+  maybe_finish(ctx);
+}
+
+void BatchClient::maybe_finish(net::IContext& ctx) {
+  if (done()) return;
+  if (queue_.empty() && builder_.pending_commands() == 0 &&
+      pipeline_.in_flight() == 0) {
+    finish_time_ = ctx.now();
+    done_.store(true, std::memory_order_release);
+  }
+}
+
+void BatchClient::on_message(net::IContext& ctx, NodeId from,
+                             wire::BytesView payload) {
+  if (from >= config_.n) return;  // only replicas speak to clients
+  try {
+    wire::Decoder dec(payload);
+    if (static_cast<core::MsgType>(dec.u8()) != core::MsgType::kRsmDecide) {
+      return;
+    }
+    const lattice::ValueSet decided = lattice::decode_value_set(dec);
+    dec.expect_done();
+    pipeline_.on_decide_report(from, decided);
+    pump(ctx);
+    maybe_finish(ctx);
+  } catch (const wire::WireError&) {
+    // Byzantine replica; drop.
+  }
+}
+
+void BatchClient::pump(net::IContext& ctx) {
+  while (pipeline_.can_submit()) {
+    std::optional<SignedCommandBatch> sealed;
+    while (!queue_.empty() && !sealed) {
+      sealed = builder_.add(std::move(queue_.front()), ctx.now());
+      queue_.pop_front();
+    }
+    // The inner loop only leaves `sealed` empty once the queue is
+    // drained — end of stream — so push the partial batch now. (The
+    // builder's time bound never fires here: a scripted client has its
+    // whole workload upfront; flush_due() is for interactive drivers.)
+    if (!sealed) sealed = builder_.flush();
+    if (!sealed) return;
+    submit(ctx, *sealed);
+  }
+}
+
+void BatchClient::submit(net::IContext& ctx, const SignedCommandBatch& b) {
+  pipeline_.mark_submitted(b);
+  wire::Encoder enc;
+  enc.u8(static_cast<std::uint8_t>(core::MsgType::kRsmNewBatch));
+  encode_signed_batch(enc, b);
+  // Alg. 5 line 3, batched: f+1 replicas, so at least one correct replica
+  // proposes the batch.
+  for (NodeId replica = 0;
+       replica < static_cast<NodeId>(config_.f + 1) &&
+       replica < static_cast<NodeId>(config_.n);
+       ++replica) {
+    ctx.send(replica, enc.view());
+  }
+}
+
+}  // namespace bla::batch

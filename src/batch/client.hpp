@@ -1,0 +1,86 @@
+#pragma once
+// Batched proposal pipeline, layer 5: the streaming client.
+//
+// BatchClient is the batched analogue of rsm::RsmClient's update path: it
+// streams a workload of encoded commands through
+//
+//     BatchBuilder ──seal──▶ BatchProposer ──kRsmNewBatch──▶ f+1 replicas
+//
+// keeping up to K batches in flight and treating a batch as durable once
+// f+1 distinct replicas report a decision containing its value. Commands
+// beyond the window wait in the builder — that is the end-to-end
+// backpressure the RSM applies to a too-fast client.
+//
+// The client never needs retransmission: links are reliable, at least one
+// of the f+1 contacted replicas is correct, and the engines' Inclusivity
+// guarantees every submitted value eventually joins the decided chain.
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "batch/builder.hpp"
+#include "batch/proposer.hpp"
+#include "core/common.hpp"
+#include "net/process.hpp"
+
+namespace bla::batch {
+
+class BatchClient : public net::IProcess {
+public:
+  struct Config {
+    NodeId self = 0;    // node id (≥ n by the RSM layout convention)
+    std::size_t n = 0;  // replica count
+    std::size_t f = 0;
+    /// Builder bounds; `proposer` is overwritten with `self`.
+    BatchBuilderConfig builder;
+    std::size_t max_in_flight = 4;  // K
+  };
+
+  BatchClient(Config config, std::shared_ptr<const crypto::ISigner> signer,
+              std::vector<lattice::Value> commands);
+
+  void on_start(net::IContext& ctx) override;
+  void on_message(net::IContext& ctx, NodeId from,
+                  wire::BytesView payload) override;
+
+  /// Every *accepted* command durably decided and the pipeline drained.
+  /// Commands the builder refused (empty, batch-framed, oversized — see
+  /// commands_dropped()) are excluded from the guarantee; callers that
+  /// must not lose commands check commands_dropped() == 0 alongside
+  /// done(). Readable from another thread (the thread-network bench
+  /// polls it).
+  [[nodiscard]] bool done() const {
+    return done_.load(std::memory_order_acquire);
+  }
+  /// Commands the builder rejected as unbatchable; they never reached a
+  /// replica.
+  [[nodiscard]] std::uint64_t commands_dropped() const {
+    return builder_.commands_dropped();
+  }
+  /// Simulated time when done() first became true.
+  [[nodiscard]] double finish_time() const { return finish_time_; }
+
+  [[nodiscard]] const BatchProposer& pipeline() const { return pipeline_; }
+  [[nodiscard]] const BatchBuilder& builder() const { return builder_; }
+  [[nodiscard]] std::size_t commands_submitted() const {
+    return total_commands_;
+  }
+
+private:
+  void pump(net::IContext& ctx);
+  void submit(net::IContext& ctx, const SignedCommandBatch& b);
+  void maybe_finish(net::IContext& ctx);
+
+  Config config_;
+  BatchBuilder builder_;
+  BatchProposer pipeline_;
+  std::deque<lattice::Value> queue_;  // commands not yet handed to builder
+  std::size_t total_commands_ = 0;
+  std::atomic<bool> done_{false};
+  double finish_time_ = 0.0;
+};
+
+}  // namespace bla::batch

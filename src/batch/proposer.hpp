@@ -1,0 +1,101 @@
+#pragma once
+// Batched proposal pipeline, layer 4: the in-flight window.
+//
+// BatchProposer keeps up to K sealed batches "in flight" through the
+// agreement layer and tracks, per batch, which replicas have reported a
+// decision containing its value. A batch completes at `completion_quorum`
+// (= f+1) distinct reports: at least one reporter is correct, so the
+// batch — and every command in it — is durably in the RSM (Alg. 5
+// line 4 lifted from one command to a batch). K is the backpressure
+// knob: while the window is full, newly arriving commands wait in the
+// builder instead of flooding the engines with proposals.
+//
+// Pure bookkeeping — no I/O, no clock — so it unit-tests without a
+// network and runs unchanged under the simulator and the thread runtime.
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "batch/batch.hpp"
+#include "lattice/set_lattice.hpp"
+
+namespace bla::batch {
+
+class BatchProposer {
+public:
+  struct Config {
+    std::size_t max_in_flight = 4;  // K
+    /// Distinct decide reports that make a batch durable. Durability
+    /// against Byzantine replicas requires f+1 (BatchClient passes
+    /// that); the default of 1 trusts a single reporter and is only
+    /// appropriate in single-replica unit tests.
+    std::size_t completion_quorum = 1;
+  };
+
+  explicit BatchProposer(Config config) : config_(config) {}
+
+  [[nodiscard]] bool can_submit() const {
+    return in_flight_.size() < config_.max_in_flight;
+  }
+
+  /// Registers a sealed batch as in flight. Call only when can_submit().
+  void mark_submitted(const SignedCommandBatch& b) {
+    InFlight entry;
+    entry.value = batch_value(b);
+    entry.command_count = b.commands.size();
+    in_flight_.emplace(b.seq, std::move(entry));
+    max_in_flight_seen_ = std::max(max_in_flight_seen_, in_flight_.size());
+  }
+
+  /// Feeds one replica's decide report; returns the seqs of batches that
+  /// just reached their completion quorum (their slots are freed).
+  std::vector<std::uint64_t> on_decide_report(
+      NodeId replica, const lattice::ValueSet& decided) {
+    std::vector<std::uint64_t> completed;
+    for (auto it = in_flight_.begin(); it != in_flight_.end();) {
+      InFlight& entry = it->second;
+      if (!decided.contains(entry.value)) {
+        ++it;
+        continue;
+      }
+      entry.reporters.insert(replica);
+      if (entry.reporters.size() >= config_.completion_quorum) {
+        completed.push_back(it->first);
+        commands_completed_ += entry.command_count;
+        ++batches_completed_;
+        it = in_flight_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return completed;
+  }
+
+  [[nodiscard]] std::size_t in_flight() const { return in_flight_.size(); }
+  [[nodiscard]] std::size_t max_in_flight_seen() const {
+    return max_in_flight_seen_;
+  }
+  [[nodiscard]] std::uint64_t batches_completed() const {
+    return batches_completed_;
+  }
+  [[nodiscard]] std::uint64_t commands_completed() const {
+    return commands_completed_;
+  }
+
+private:
+  struct InFlight {
+    Value value;  // the batch as a lattice value (what decide sets hold)
+    std::size_t command_count = 0;
+    std::set<NodeId> reporters;
+  };
+
+  Config config_;
+  std::map<std::uint64_t, InFlight> in_flight_;  // by batch seq
+  std::size_t max_in_flight_seen_ = 0;
+  std::uint64_t batches_completed_ = 0;
+  std::uint64_t commands_completed_ = 0;
+};
+
+}  // namespace bla::batch

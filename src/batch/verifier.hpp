@@ -1,0 +1,54 @@
+#pragma once
+// Batched proposal pipeline, layer 3: batch-aware verification.
+//
+// One signature check admits a whole batch of commands, and the
+// verified-digest cache dedupes even that: the same batch re-presented —
+// a client retransmit, the batch value re-disclosed or echoed across the
+// engines' refinement rounds, a decide-time expansion — costs a set
+// lookup instead of a signature verification. The cache key commits to
+// the proposer, the full command list, *and the signature bytes*, so a
+// hit is exactly as strong as a fresh verification — re-presenting a
+// cached body under a mutated signature misses the cache and fails the
+// real check (cf. libutreexo's BatchProof verify-once pattern in
+// SNIPPETS.md).
+
+#include <cstdint>
+#include <memory>
+#include <set>
+
+#include "batch/batch.hpp"
+#include "crypto/signer.hpp"
+
+namespace bla::batch {
+
+class BatchVerifier {
+public:
+  /// `verifier` may be any node's signing handle — ISigner::verify is
+  /// global (the PKI distributes every public key).
+  explicit BatchVerifier(std::shared_ptr<const crypto::ISigner> verifier,
+                         std::size_t max_cache_entries = std::size_t{1} << 16);
+
+  /// True iff the batch is structurally sound and its single signature
+  /// checks out against the proposer's key (or its digest is already in
+  /// the cache).
+  [[nodiscard]] bool verify(const SignedCommandBatch& b);
+
+  [[nodiscard]] std::uint64_t signature_checks() const {
+    return signature_checks_;
+  }
+  [[nodiscard]] std::uint64_t cache_hits() const { return cache_hits_; }
+  [[nodiscard]] std::uint64_t rejected() const { return rejected_; }
+
+private:
+  std::shared_ptr<const crypto::ISigner> verifier_;
+  std::size_t max_cache_entries_;
+  // Digests of batches whose signature already verified. Bounded: on
+  // overflow the cache is cleared (re-verification is correct, just
+  // slower), so Byzantine floods cannot grow it without bound.
+  std::set<crypto::Sha256::Digest> verified_;
+  std::uint64_t signature_checks_ = 0;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace bla::batch

@@ -29,10 +29,19 @@ using net::NodeId;
   return n - f;
 }
 
-/// Largest f such that n ≥ 3f+1 (Theorem 1).
+/// Largest f such that n ≥ 3f+1 (Theorem 1). Guarded for n == 0: the
+/// unsigned subtraction (n - 1) would otherwise wrap to SIZE_MAX and
+/// report ~6·10¹⁷ tolerable faults for an empty system.
 [[nodiscard]] constexpr std::size_t max_faulty(std::size_t n) {
-  return (n - 1) / 3;
+  return n == 0 ? 0 : (n - 1) / 3;
 }
+
+static_assert(max_faulty(0) == 0);
+static_assert(max_faulty(1) == 0);
+static_assert(max_faulty(3) == 0);
+static_assert(max_faulty(4) == 1);
+static_assert(max_faulty(7) == 2);
+static_assert(max_faulty(10) == 3);
 
 /// Top-level message-type bytes. The first byte of every frame; RBC owns
 /// 1..3 (see rbc/bracha.hpp).
@@ -68,6 +77,9 @@ enum class MsgType : std::uint8_t {
   kRsmDecide = 51,
   kRsmConfReq = 52,
   kRsmConfRep = 53,
+  // Batched submission path (src/batch/): one SignedCommandBatch frame
+  // carrying many commands under a single signature.
+  kRsmNewBatch = 54,
 };
 
 }  // namespace bla::core

@@ -406,6 +406,7 @@ void GsbsProcess::broadcast_cert_and_decide(DecidedCert cert) {
   const std::uint64_t round = cert.round;
   const ValueSet decision = proposal_union(cert.proposal);
   certs_.emplace(round, std::move(cert));
+  record_committed(decision);
   advance_trust();
 
   decided_set_ = decision;
@@ -429,6 +430,11 @@ void GsbsProcess::adopt_cert(const DecidedCert& cert) {
   if (on_decide_) on_decide_(decisions_.back());
   round_ += 1;
   start_round();
+}
+
+void GsbsProcess::adopt_cert_if_held(std::uint64_t round) {
+  auto it = certs_.find(round);
+  if (it != certs_.end()) adopt_cert(it->second);
 }
 
 void GsbsProcess::advance_trust() {
@@ -670,13 +676,41 @@ void GsbsProcess::on_nack(NodeId from, wire::Decoder& dec) {
 void GsbsProcess::on_decided(NodeId /*from*/, wire::Decoder& dec) {
   DecidedCert cert = decode_cert(dec);
   dec.expect_done();
+  // Replay guard over the *canonical re-encoding*: a certificate already
+  // processed — accepted or rejected — is never re-verified, so a
+  // Byzantine peer resending it pays us only an encode+hash, not a
+  // quorum of signature checks. Hashing raw frame bytes would not work:
+  // the decoder tolerates non-minimal varints, so one certificate has
+  // unboundedly many byte-distinct frame spellings.
+  {
+    wire::Encoder canonical;
+    encode_cert(canonical, cert);
+    const crypto::Sha256::Digest digest =
+        crypto::Sha256::hash(std::span(canonical.view()));
+    if (certs_processed_.contains(digest)) {
+      adopt_cert_if_held(cert.round);
+      return;
+    }
+    if (certs_processed_.size() >= (std::size_t{1} << 12)) {
+      certs_processed_.clear();
+    }
+    certs_processed_.insert(digest);
+  }
   if (certs_.contains(cert.round)) {
-    // Already trusted; still try adoption (we may have lagged).
+    // Already trusted; still try adoption (we may have lagged). A
+    // *different* well-formed certificate for an already-trusted round
+    // still matters to the confirmation plug-in: its union is a
+    // quorum-committed set a client may ask us to confirm.
+    const ValueSet other = proposal_union(cert.proposal);
+    if (!is_committed(other) && verify_cert(cert)) {
+      record_committed(other);
+    }
     adopt_cert(certs_.at(cert.round));
     return;
   }
   if (!verify_cert(cert)) return;
   const std::uint64_t round = cert.round;
+  record_committed(proposal_union(cert.proposal));
   certs_.emplace(round, std::move(cert));
   advance_trust();
   adopt_cert(certs_.at(round));

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/common.hpp"
+#include "core/engine.hpp"
 #include "crypto/sha256.hpp"
 #include "crypto/signer.hpp"
 #include "net/process.hpp"
@@ -95,30 +96,35 @@ struct GsbsConfig {
   std::uint64_t max_rounds = 0;  // 0 = unbounded
 };
 
-class GsbsProcess : public net::IProcess {
+class GsbsProcess : public IAgreementEngine {
 public:
-  struct Decision {
-    ValueSet set;
-    std::uint64_t round = 0;
-    double time = 0.0;
-  };
-  using DecideFn = std::function<void(const Decision&)>;
+  using Decision = core::Decision;
+  using DecideFn = IAgreementEngine::DecideFn;
 
   GsbsProcess(GsbsConfig config,
               std::shared_ptr<const crypto::ISigner> signer,
               DecideFn on_decide = nullptr);
 
   /// new_value(v): batched into the next round, as in GWTS.
-  void submit(Value value);
+  void submit(Value value) override;
 
   void on_start(net::IContext& ctx) override;
   void on_message(net::IContext& ctx, NodeId from,
                   wire::BytesView payload) override;
 
-  [[nodiscard]] const std::vector<Decision>& decisions() const {
+  [[nodiscard]] const std::vector<Decision>& decisions() const override {
     return decisions_;
   }
-  [[nodiscard]] const ValueSet& decided_set() const { return decided_set_; }
+  [[nodiscard]] const ValueSet& decided_set() const override {
+    return decided_set_;
+  }
+
+  /// Alg. 7 confirmation predicate: `set` is committed iff some
+  /// well-formed `decided` certificate we have seen proves it. Populated
+  /// from our own certificates and every verified kGsbsDecided broadcast.
+  [[nodiscard]] bool is_committed(const ValueSet& set) const override {
+    return committed_sets_.contains(committed_set_digest(set.elements()));
+  }
   [[nodiscard]] std::uint64_t current_round() const { return round_; }
   [[nodiscard]] std::uint64_t trusted_round() const { return safe_r_; }
   [[nodiscard]] std::size_t refinement_count() const { return refinements_; }
@@ -151,6 +157,12 @@ private:
   void send_ack_req();
   void broadcast_cert_and_decide(DecidedCert cert);
   void adopt_cert(const DecidedCert& cert);
+  void adopt_cert_if_held(std::uint64_t round);
+  /// Records a certificate-proven decision set as commit evidence (the
+  /// single place the Alg. 7 is_committed key is computed for GSbS).
+  void record_committed(const ValueSet& decision) {
+    committed_sets_.insert(committed_set_digest(decision.elements()));
+  }
   void advance_trust();
   void drain_buffers();
 
@@ -195,6 +207,13 @@ private:
   ProposalMap accepted_;
   std::uint64_t safe_r_ = 0;
   std::map<std::uint64_t, DecidedCert> certs_;  // well-formed, by round
+  // Canonical-encoding digests of every certificate-proven proposal
+  // union (feeds is_committed).
+  std::set<crypto::Sha256::Digest> committed_sets_;
+  // Digests of every kGsbsDecided frame already processed (valid or
+  // not), so replayed certificates cost a hash instead of a quorum of
+  // signature verifications. Bounded: cleared on overflow.
+  std::set<crypto::Sha256::Digest> certs_processed_;
 
   // Buffered frames awaiting round trust.
   struct BufferedReq {

@@ -182,7 +182,7 @@ void GwtsProcess::record_ack(NodeId acceptor, const AckKey& key) {
   if (supporters.size() == byz_quorum(config_.n, config_.f)) {
     committed_by_round_[key.round].push_back(key);
     rounds_with_commit_.insert(key.round);
-    committed_sets_.insert(key.set_elems);
+    committed_sets_.insert(committed_set_digest(key.set_elems));
     // Alg. 4 lines 17-19: a committed proposal of round Safe_r lets the
     // acceptor trust the next round. Chain upward in case later rounds
     // committed while we lagged.

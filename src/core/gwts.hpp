@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "core/common.hpp"
+#include "core/engine.hpp"
 #include "net/process.hpp"
 #include "rbc/bracha.hpp"
 
@@ -46,21 +47,19 @@ struct GwtsConfig {
   std::uint64_t max_rounds = 0;
 };
 
-class GwtsProcess : public net::IProcess {
+class GwtsProcess : public IAgreementEngine {
 public:
-  struct Decision {
-    ValueSet set;
-    std::uint64_t round = 0;
-    double time = 0.0;
-  };
+  /// The engine-wide decision record (hoisted to core::Decision so every
+  /// engine emits the same type; the alias keeps existing call sites).
+  using Decision = core::Decision;
   /// Fired on every decision (the RSM layer hooks this).
-  using DecideFn = std::function<void(const Decision&)>;
+  using DecideFn = IAgreementEngine::DecideFn;
 
   explicit GwtsProcess(GwtsConfig config, DecideFn on_decide = nullptr);
 
   /// The paper's new_value(v) event: enqueues v for the next round's
   /// batch. Callable at any time (from the application or the RSM layer).
-  void submit(Value value);
+  void submit(Value value) override;
 
   void on_start(net::IContext& ctx) override;
   void on_message(net::IContext& ctx, NodeId from,
@@ -68,10 +67,12 @@ public:
 
   // -- Observers -----------------------------------------------------------
 
-  [[nodiscard]] const std::vector<Decision>& decisions() const {
+  [[nodiscard]] const std::vector<Decision>& decisions() const override {
     return decisions_;
   }
-  [[nodiscard]] const ValueSet& decided_set() const { return decided_set_; }
+  [[nodiscard]] const ValueSet& decided_set() const override {
+    return decided_set_;
+  }
   [[nodiscard]] std::uint64_t current_round() const { return round_; }
   [[nodiscard]] std::uint64_t safe_round() const { return safe_r_; }
   [[nodiscard]] std::size_t refinement_count() const { return refinements_; }
@@ -80,8 +81,8 @@ public:
   /// ⌊(n+f)/2⌋+1 times in Ack_history for one round). This is exactly the
   /// test the RSM confirmation plug-in (Alg. 7) performs before
   /// acknowledging a client's read.
-  [[nodiscard]] bool is_committed(const ValueSet& set) const {
-    return committed_sets_.contains(set.elements());
+  [[nodiscard]] bool is_committed(const ValueSet& set) const override {
+    return committed_sets_.contains(committed_set_digest(set.elements()));
   }
 
 private:
@@ -161,7 +162,8 @@ private:
   std::map<AckKey, std::set<NodeId>> ack_history_;
   std::map<std::uint64_t, std::vector<AckKey>> committed_by_round_;
   std::set<std::uint64_t> rounds_with_commit_;
-  std::set<std::vector<Value>> committed_sets_;
+  // Canonical-encoding digests of quorum-committed sets (is_committed).
+  std::set<crypto::Sha256::Digest> committed_sets_;
 
   // Acceptor state (Alg. 4).
   ValueSet accepted_set_;

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "lattice/set_lattice.hpp"
 #include "wire/wire.hpp"
@@ -32,8 +33,11 @@ using ValueSet = SetLattice<Value>;
 /// Hard cap on a single value's size. Correct processes never produce
 /// larger values; anything larger arriving from the network is treated as
 /// "not an element of the lattice" (paper Alg. 1 line 10 / Alg. 3 line 17)
-/// and discarded, so Byzantine senders cannot exhaust memory.
-inline constexpr std::size_t kMaxValueBytes = 4096;
+/// and discarded, so Byzantine senders cannot exhaust memory. Sized to
+/// admit a maximal SignedCommandBatch (src/batch/), which travels through
+/// the engines as one value; the wire layer still never allocates more
+/// than a sender actually transmitted.
+inline constexpr std::size_t kMaxValueBytes = 64 * 1024;
 
 /// Hard cap on set cardinality accepted from the network. In any run the
 /// safe-value universe holds at most one value per process per round, so
@@ -56,11 +60,18 @@ inline void encode_value(wire::Encoder& enc, const Value& v) {
 }
 
 /// Canonical set serialization: cardinality then elements in sorted order.
-/// Canonicality matters: SbS signs serialized sets, and signatures must be
-/// stable across processes that hold equal sets.
+/// Canonicality matters: SbS signs serialized sets, engines digest them
+/// as commit evidence, and both must be stable across processes that
+/// hold equal sets. The sequence overload is the single definition of
+/// the layout; callers with a ValueSet use the set overload.
+inline void encode_sorted_values(wire::Encoder& enc,
+                                 const std::vector<Value>& sorted_elems) {
+  enc.uvarint(sorted_elems.size());
+  for (const Value& v : sorted_elems) encode_value(enc, v);
+}
+
 inline void encode_value_set(wire::Encoder& enc, const ValueSet& s) {
-  enc.uvarint(s.size());
-  for (const Value& v : s) encode_value(enc, v);
+  encode_sorted_values(enc, s.elements());
 }
 
 [[nodiscard]] inline ValueSet decode_value_set(wire::Decoder& dec) {

@@ -14,6 +14,13 @@ BrachaRbc::Instance* BrachaRbc::instance_for(const InstanceKey& key) {
   return &instances_[key];
 }
 
+void BrachaRbc::release_instance(Instance& inst) {
+  inst.echoers.clear();
+  inst.readiers.clear();
+  inst.echo_counts.clear();
+  inst.ready_counts.clear();
+}
+
 void BrachaRbc::emit(MsgType type, const InstanceKey& key,
                      wire::BytesView payload) {
   wire::Encoder enc;
@@ -79,12 +86,17 @@ void BrachaRbc::maybe_ready(const InstanceKey& key, Instance& inst,
 void BrachaRbc::on_echo(NodeId from, wire::Decoder& dec) {
   const NodeId origin = dec.u32();
   const std::uint64_t tag = dec.u64();
+  // Origins are always real broadcasters (ids < n). Without this check a
+  // Byzantine echoer could fabricate instances under 2^32 distinct
+  // origins, making the per-origin instance cap bound nothing. Checked
+  // before materializing the payload so rejection is allocation-free.
+  if (origin >= config_.n) return;
   wire::Bytes payload = dec.bytes();
   if (payload.size() > kMaxPayloadBytes) return;
 
   const InstanceKey key{origin, tag};
   Instance* inst = instance_for(key);
-  if (inst == nullptr) return;
+  if (inst == nullptr || inst->delivered) return;
   // One ECHO per peer per instance: a Byzantine echoing many payloads
   // contributes to at most one tally.
   if (!inst->echoers.insert(from).second) return;
@@ -98,12 +110,13 @@ void BrachaRbc::on_echo(NodeId from, wire::Decoder& dec) {
 void BrachaRbc::on_ready(NodeId from, wire::Decoder& dec) {
   const NodeId origin = dec.u32();
   const std::uint64_t tag = dec.u64();
+  if (origin >= config_.n) return;  // see on_echo
   wire::Bytes payload = dec.bytes();
   if (payload.size() > kMaxPayloadBytes) return;
 
   const InstanceKey key{origin, tag};
   Instance* inst = instance_for(key);
-  if (inst == nullptr) return;
+  if (inst == nullptr || inst->delivered) return;
   if (!inst->readiers.insert(from).second) return;
   auto& supporters = inst->ready_counts[payload];
   supporters.insert(from);
@@ -112,9 +125,12 @@ void BrachaRbc::on_ready(NodeId from, wire::Decoder& dec) {
     // f+1 READYs contain at least one correct process: safe to amplify.
     maybe_ready(key, *inst, payload);
   }
-  if (supporters.size() >= ready_deliver() && !inst->delivered) {
+  if (supporters.size() >= ready_deliver()) {
     inst->delivered = true;
-    deliver_(origin, tag, payload);
+    // Integrity makes the tallies dead weight from here on (at most one
+    // delivery per instance); free them and refund the payers.
+    release_instance(*inst);
+    deliver_(origin, tag, std::move(payload));
   }
 }
 

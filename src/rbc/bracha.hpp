@@ -25,6 +25,7 @@
 #include <map>
 #include <set>
 
+#include "lattice/value.hpp"
 #include "net/process.hpp"
 #include "wire/wire.hpp"
 
@@ -40,9 +41,32 @@ enum class MsgType : std::uint8_t { kSend = 1, kEcho = 2, kReady = 3 };
   return t >= 1 && t <= 3;
 }
 
-/// Caps applied to network input before allocation (Byzantine senders
-/// cannot blow up memory).
-inline constexpr std::size_t kMaxPayloadBytes = 1 << 20;
+/// Caps applied to network input (Byzantine senders cannot blow up
+/// memory with a single frame). The payload cap is sized at 256× the
+/// lattice value cap — GWTS reliably broadcasts whole (cumulative)
+/// value sets, so the frame cap bounds how much decided state fits in
+/// one broadcast before the engines need checkpointing; keep the two
+/// caps in step.
+///
+/// Retention: a delivered instance releases its tallies immediately
+/// (Integrity makes them dead weight), so honest runs retain almost
+/// nothing per instance. The delivered entry itself — a small marker
+/// that keeps duplicates suppressed — deliberately keeps consuming its
+/// per-origin cap slot: refunding the slot would make total instance
+/// count (hence memory) unbounded over an arbitrarily long run, while
+/// keeping it hard-bounds memory at n × kMaxInstancesPerOrigin entries
+/// at the price of muting an origin after that many lifetime
+/// broadcasts. All current runs are max_rounds-bounded and sit far
+/// below the cap; lifting it for truly unbounded runs is the epoch-GC
+/// item in ROADMAP. What dominates retention is *undelivered*
+/// instances: at most one stored payload variant per echoing peer per
+/// instance, each ≤ the payload cap. We deliberately do NOT meter those bytes against any shared
+/// budget — every such budget (per-origin or per-sender) turns out to
+/// be exhaustible by a Byzantine peer in a way that censors an honest
+/// broadcaster, and losing one honest echoer breaks quorum liveness
+/// outright; bounded-but-large memory exposure is the lesser harm. The
+/// principled fix is epoch-based instance GC — see ROADMAP.
+inline constexpr std::size_t kMaxPayloadBytes = 256 * lattice::kMaxValueBytes;
 inline constexpr std::size_t kMaxInstancesPerOrigin = 1 << 14;
 
 class BrachaRbc {
@@ -99,6 +123,10 @@ private:
   };
 
   Instance* instance_for(const InstanceKey& key);
+  /// Frees a delivered instance's tallies (dead weight once Integrity
+  /// forbids a second delivery). The per-origin cap slot is *not*
+  /// refunded — see the retention note above kMaxPayloadBytes.
+  void release_instance(Instance& inst);
   void emit(MsgType type, const InstanceKey& key, wire::BytesView payload);
   void on_send(NodeId from, wire::Decoder& dec);
   void on_echo(NodeId from, wire::Decoder& dec);

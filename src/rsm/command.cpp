@@ -1,5 +1,7 @@
 #include "rsm/command.hpp"
 
+#include "batch/batch.hpp"
+
 namespace bla::rsm {
 
 namespace {
@@ -37,6 +39,18 @@ std::optional<Command> decode_command(const Value& value) {
 ValueSet execute(const ValueSet& decided) {
   ValueSet out;
   for (const Value& v : decided) {
+    if (batch::is_batch_value(v)) {
+      // A decided batch contributes each of its well-formed commands.
+      // (Batches cannot nest: the codec rejects batch-magic command
+      // values, so this expansion is depth one.)
+      const auto b = batch::decode_batch_value(v);
+      if (!b.has_value()) continue;
+      for (const Value& command : b->commands) {
+        const auto cmd = decode_command(command);
+        if (cmd.has_value() && !cmd->nop) out.insert(command);
+      }
+      continue;
+    }
     const auto cmd = decode_command(v);
     if (cmd.has_value() && !cmd->nop) out.insert(v);
   }

@@ -1,5 +1,7 @@
 #include "rsm/replica.hpp"
 
+#include "batch/batch.hpp"
+
 namespace bla::rsm {
 
 namespace {
@@ -8,13 +10,18 @@ constexpr std::size_t kMaxPendingConfs = 1 << 14;
 
 RsmReplica::RsmReplica(ReplicaConfig config)
     : config_(config),
-      gwts_(
-          core::GwtsConfig{config.self, config.n, config.f, config.max_rounds},
-          [this](const core::GwtsProcess::Decision& d) { on_decide(d); }) {}
+      engine_(core::make_engine(
+          config.engine,
+          core::EngineConfig{config.self, config.n, config.f,
+                             config.max_rounds},
+          config.signer,
+          [this](const core::Decision& d) { on_decide(d); })) {
+  if (config_.signer) verifier_.emplace(config_.signer);
+}
 
 void RsmReplica::on_start(net::IContext& ctx) {
   ctx_ = &ctx;
-  gwts_.on_start(ctx);
+  engine_->on_start(ctx);
   ctx_ = nullptr;
 }
 
@@ -36,8 +43,11 @@ void RsmReplica::on_message(net::IContext& ctx, NodeId from,
       const Value value = lattice::decode_value(dec);
       dec.expect_done();
       if (decode_command(value).has_value()) {
-        gwts_.submit(value);
+        engine_->submit(value);
       }
+    } else if (type == core::MsgType::kRsmNewBatch) {
+      dec.u8();
+      on_new_batch(from, dec, payload);
     } else if (type == core::MsgType::kRsmConfReq) {
       // Alg. 7 lines 2-3.
       dec.u8();
@@ -48,9 +58,14 @@ void RsmReplica::on_message(net::IContext& ctx, NodeId from,
       }
       drain_pending_confirmations();
     } else {
-      // GWTS / RBC traffic.
-      gwts_.on_message(ctx, from, payload);
-      drain_pending_confirmations();
+      // Engine traffic (GWTS/RBC or GSbS frames) — replicas only. Ids
+      // ≥ n are clients; letting them through would count Byzantine
+      // clients toward RBC echo/ready and engine quorums, voiding the
+      // Lemma 12 "Byzantine clients are harmless" contract.
+      if (from < config_.n) {
+        engine_->on_message(ctx, from, payload);
+        drain_pending_confirmations();
+      }
     }
   } catch (const wire::WireError&) {
     // Byzantine client or replica; drop.
@@ -58,7 +73,54 @@ void RsmReplica::on_message(net::IContext& ctx, NodeId from,
   ctx_ = nullptr;
 }
 
-void RsmReplica::on_decide(const core::GwtsProcess::Decision& decision) {
+void RsmReplica::on_new_batch(NodeId from, wire::Decoder& dec,
+                              wire::BytesView frame) {
+  // Cheapest check first: grossly padded frames are Byzantine by
+  // construction (the canonical encoding of any cap-respecting batch
+  // fits a lattice value — see the static_assert in batch.hpp), and
+  // rejecting them here keeps a flood from buying signature work.
+  if (frame.size() - 1 > lattice::kMaxValueBytes) {
+    ++batches_rejected_;
+    return;
+  }
+  batch::SignedCommandBatch b;
+  try {
+    b = batch::decode_signed_batch(dec);
+    dec.expect_done();
+  } catch (const wire::WireError&) {
+    // Count malformed frames here rather than letting them unwind to
+    // on_message's catch, so batches_rejected() covers every
+    // non-admitted batch, not just well-formed-but-invalid ones.
+    ++batches_rejected_;
+    return;
+  }
+  // The runtime authenticates channels, so the claimed proposer must be
+  // the actual sender — otherwise a Byzantine client could submit batches
+  // in another client's name.
+  if (b.proposer != from || !verifier_ || !verifier_->verify(b)) {
+    ++batches_rejected_;
+    return;
+  }
+  // Lemma 12 admissibility, amortized: every command must still be
+  // well-formed, but the signature work was one check for the whole
+  // batch (and zero on a verified-digest cache hit).
+  for (const Value& command : b.commands) {
+    if (!decode_command(command).has_value()) {
+      ++batches_rejected_;
+      return;
+    }
+  }
+  ++batches_admitted_;
+  // Submit the *canonical* re-encoding, never the received bytes: the
+  // wire decoder tolerates non-minimal varints, so one signed batch has
+  // many byte-distinct frame spellings, and submitting raw frames would
+  // let a Byzantine client mint arbitrarily many duplicate lattice
+  // values from a single signature. Canonicalizing collapses every
+  // spelling to one value (and one verified-digest cache entry).
+  engine_->submit(batch::batch_value(b));
+}
+
+void RsmReplica::on_decide(const core::Decision& decision) {
   // Alg. 5 line 5: push <decide, Accepted_set, replica> to every client.
   // Clients occupy every node id ≥ n.
   wire::Encoder enc;
@@ -72,11 +134,12 @@ void RsmReplica::on_decide(const core::GwtsProcess::Decision& decision) {
 }
 
 void RsmReplica::drain_pending_confirmations() {
-  // Alg. 7 lines 4-6: confirm once the set shows a quorum in Ack_history.
+  // Alg. 7 lines 4-6: confirm once the set shows a quorum in the engine's
+  // commit evidence (GWTS ack history / GSbS certificates).
   for (auto it = pending_confs_.begin(); it != pending_confs_.end();) {
     ValueSet set;
     for (const Value& v : it->set_elems) set.insert(v);
-    if (gwts_.is_committed(set)) {
+    if (engine_->is_committed(set)) {
       wire::Encoder enc;
       enc.u8(static_cast<std::uint8_t>(core::MsgType::kRsmConfRep));
       lattice::encode_value_set(enc, set);

@@ -1,18 +1,26 @@
 #pragma once
-// RSM replica (§7.2): a GWTS proposer+acceptor plus
-//  * the client-facing new_value entry point (Alg. 5 line 3),
+// RSM replica (§7.2): an agreement-engine proposer+acceptor plus
+//  * the client-facing new_value entry point (Alg. 5 line 3) — one
+//    command at a time (kRsmNewValue) or an entire signed batch
+//    (kRsmNewBatch, see src/batch/),
 //  * decide notifications pushed to clients (Alg. 5 line 5),
 //  * the confirmation plug-in (Alg. 7) that lets clients distinguish
 //    genuine decision values from values fabricated by Byzantine replicas.
+//
+// The engine is pluggable (core::IAgreementEngine): GWTS reproduces the
+// paper's §7 construction; GSbS swaps in the signature-based engine for
+// deployments that trade CPU for O(f·n) messages.
 //
 // Node layout convention: replicas occupy ids [0, n); every id ≥ n is a
 // client. Replicas learn nothing from clients beyond commands, and trust
 // none of it (Lemma 12: Byzantine clients are harmless).
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
-#include "core/gwts.hpp"
+#include "batch/verifier.hpp"
+#include "core/engine.hpp"
 #include "rsm/command.hpp"
 
 namespace bla::rsm {
@@ -22,6 +30,12 @@ struct ReplicaConfig {
   std::size_t n = 0;  // replica count (n ≥ 3f+1)
   std::size_t f = 0;
   std::uint64_t max_rounds = 0;  // 0 = unbounded
+  /// Which agreement engine backs the replica (default: the paper's GWTS).
+  core::EngineKind engine = core::EngineKind::kGwts;
+  /// Signing handle. Required for the GSbS engine; also enables the
+  /// batched submission path (verifying client batch signatures). A
+  /// GWTS replica without a signer still serves the per-command path.
+  std::shared_ptr<const crypto::ISigner> signer;
 };
 
 class RsmReplica : public net::IProcess {
@@ -32,10 +46,24 @@ public:
   void on_message(net::IContext& ctx, NodeId from,
                   wire::BytesView payload) override;
 
-  [[nodiscard]] const core::GwtsProcess& engine() const { return gwts_; }
-  /// Current materialized state (set of non-nop commands decided so far).
+  [[nodiscard]] const core::IAgreementEngine& engine() const {
+    return *engine_;
+  }
+  /// Current materialized state (set of non-nop commands decided so far,
+  /// with decided batches expanded into their commands).
   [[nodiscard]] ValueSet state() const {
-    return execute(gwts_.decided_set());
+    return execute(engine_->decided_set());
+  }
+
+  /// Batched-path counters (bench/test observability).
+  [[nodiscard]] std::uint64_t batches_admitted() const {
+    return batches_admitted_;
+  }
+  [[nodiscard]] std::uint64_t batches_rejected() const {
+    return batches_rejected_;
+  }
+  [[nodiscard]] const batch::BatchVerifier* batch_verifier() const {
+    return verifier_ ? &*verifier_ : nullptr;
   }
 
 private:
@@ -44,13 +72,18 @@ private:
     std::vector<Value> set_elems;
   };
 
-  void on_decide(const core::GwtsProcess::Decision& decision);
+  void on_new_batch(NodeId from, wire::Decoder& dec,
+                    wire::BytesView frame);
+  void on_decide(const core::Decision& decision);
   void drain_pending_confirmations();
 
   ReplicaConfig config_;
-  core::GwtsProcess gwts_;
+  std::unique_ptr<core::IAgreementEngine> engine_;
+  std::optional<batch::BatchVerifier> verifier_;  // engaged iff signer set
   net::IContext* ctx_ = nullptr;
   std::vector<PendingConf> pending_confs_;
+  std::uint64_t batches_admitted_ = 0;
+  std::uint64_t batches_rejected_ = 0;
 };
 
 }  // namespace bla::rsm

@@ -1,0 +1,87 @@
+#include "testutil/batch_scenario.hpp"
+
+#include <algorithm>
+
+#include "rsm/command.hpp"
+
+namespace bla::testutil {
+
+BatchRsmScenario::BatchRsmScenario(BatchRsmScenarioOptions options)
+    : options_(std::move(options)) {
+  // One keypair per replica *and* per client: replicas sign engine
+  // traffic (GSbS), clients sign their command batches.
+  signers_ =
+      crypto::make_hmac_signer_set(options_.n + options_.clients, options_.seed);
+
+  net::SimNetwork::Config cfg;
+  cfg.seed = options_.seed;
+  cfg.delay = std::move(options_.delay);
+  net_ = std::make_unique<net::SimNetwork>(std::move(cfg));
+
+  for (net::NodeId id = 0; id < options_.n; ++id) {
+    if (options_.is_byzantine(id)) {
+      if (options_.adversary) {
+        auto p = options_.adversary(id);
+        net_->add_process(p ? std::move(p)
+                            : std::make_unique<core::SilentProcess>());
+      } else {
+        net_->add_process(std::make_unique<core::SilentProcess>());
+      }
+      continue;
+    }
+    rsm::ReplicaConfig rc;
+    rc.self = id;
+    rc.n = options_.n;
+    rc.f = options_.f;
+    rc.max_rounds = options_.max_rounds;
+    rc.engine = options_.engine;
+    rc.signer = signers_->signer_for(id);
+    auto replica = std::make_unique<rsm::RsmReplica>(rc);
+    replicas_.push_back(replica.get());
+    net_->add_process(std::move(replica));
+  }
+
+  for (std::size_t c = 0; c < options_.clients; ++c) {
+    const auto id = static_cast<net::NodeId>(options_.n + c);
+    std::vector<lattice::Value> commands;
+    commands.reserve(options_.commands_per_client);
+    for (std::size_t k = 0; k < options_.commands_per_client; ++k) {
+      rsm::Command cmd;
+      cmd.client = id;
+      cmd.seq = k;
+      cmd.nop = false;
+      wire::Encoder payload;
+      payload.str("batched-op");
+      payload.u32(id);
+      payload.uvarint(k);
+      cmd.payload = payload.take();
+      commands.push_back(rsm::encode_command(cmd));
+      expected_.insert(commands.back());
+    }
+    batch::BatchClient::Config cc;
+    cc.self = id;
+    cc.n = options_.n;
+    cc.f = options_.f;
+    cc.builder.max_commands = options_.batch_size;
+    cc.max_in_flight = options_.max_in_flight;
+    auto client = std::make_unique<batch::BatchClient>(
+        cc, signers_->signer_for(id), std::move(commands));
+    clients_.push_back(client.get());
+    net_->add_process(std::move(client));
+  }
+}
+
+std::uint64_t BatchRsmScenario::run_until_done(std::uint64_t max_events) {
+  return net_->run(max_events, [this] { return all_clients_done(); });
+}
+
+std::uint64_t BatchRsmScenario::run(std::uint64_t max_events) {
+  return net_->run(max_events);
+}
+
+bool BatchRsmScenario::all_clients_done() const {
+  return std::all_of(clients_.begin(), clients_.end(),
+                     [](const auto* c) { return c->done(); });
+}
+
+}  // namespace bla::testutil

@@ -1,0 +1,68 @@
+#pragma once
+// Batched-RSM scenario: n replicas (some Byzantine, engine pluggable) +
+// BatchClients streaming command workloads through the src/batch/
+// pipeline. Shared by the batch test suite and the throughput bench so
+// both construct the system identically.
+
+#include <memory>
+#include <vector>
+
+#include "batch/client.hpp"
+#include "crypto/signer.hpp"
+#include "net/sim_network.hpp"
+#include "rsm/replica.hpp"
+#include "testutil/scenario.hpp"
+
+namespace bla::testutil {
+
+struct BatchRsmScenarioOptions : ScenarioOptions {
+  core::EngineKind engine = core::EngineKind::kGwts;
+  std::size_t clients = 1;
+  std::size_t commands_per_client = 32;
+  /// Builder size bound B (commands per batch).
+  std::size_t batch_size = 8;
+  /// Pipeline window K (batches in flight per client).
+  std::size_t max_in_flight = 4;
+  std::uint64_t max_rounds = 200;
+};
+
+class BatchRsmScenario {
+public:
+  explicit BatchRsmScenario(BatchRsmScenarioOptions options);
+
+  /// Runs until every client's workload is durably decided (or the event
+  /// budget runs out). Leaves residual engine rounds un-drained — use
+  /// run() afterwards to reach quiescence when replica-state assertions
+  /// need every correct replica caught up.
+  std::uint64_t run_until_done(std::uint64_t max_events = 400'000'000);
+
+  /// Runs to full quiescence.
+  std::uint64_t run(std::uint64_t max_events = 400'000'000);
+
+  [[nodiscard]] net::SimNetwork& network() { return *net_; }
+  [[nodiscard]] const std::vector<rsm::RsmReplica*>& correct_replicas()
+      const {
+    return replicas_;
+  }
+  [[nodiscard]] const std::vector<batch::BatchClient*>& clients() const {
+    return clients_;
+  }
+  [[nodiscard]] bool all_clients_done() const;
+  /// Every command (encoded) the clients were scripted to submit.
+  [[nodiscard]] core::ValueSet expected_commands() const {
+    return expected_;
+  }
+  [[nodiscard]] const crypto::ISignerSet& signers() const {
+    return *signers_;
+  }
+
+private:
+  BatchRsmScenarioOptions options_;
+  std::shared_ptr<crypto::ISignerSet> signers_;
+  std::unique_ptr<net::SimNetwork> net_;
+  std::vector<rsm::RsmReplica*> replicas_;
+  std::vector<batch::BatchClient*> clients_;
+  core::ValueSet expected_;
+};
+
+}  // namespace bla::testutil

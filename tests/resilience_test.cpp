@@ -111,6 +111,12 @@ TEST(Resilience, QuorumArithmetic) {
     EXPECT_LE(q, n - f) << "quorum unreachable at f=" << f;
     EXPECT_EQ(max_faulty(n), f);
   }
+  // Degenerate sizes must not underflow the unsigned arithmetic: an empty
+  // or single-node system tolerates zero faults.
+  EXPECT_EQ(max_faulty(0), 0u);
+  EXPECT_EQ(max_faulty(1), 0u);
+  EXPECT_EQ(max_faulty(2), 0u);
+  EXPECT_EQ(max_faulty(3), 0u);
   // At n = 3f the two requirements conflict.
   for (std::size_t f = 1; f <= 10; ++f) {
     const std::size_t n = 3 * f;
