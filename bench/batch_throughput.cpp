@@ -15,7 +15,14 @@
 // measurement under real OS concurrency (informational — wall-clock on
 // shared CI hardware is too noisy to gate on).
 
+// CLI: --signer=hmac|ed25519 selects the signature scheme (default hmac;
+// ed25519 measures the signature dividend under real PKI costs — see
+// BENCH_batch_ed25519.json), --json=PATH writes the simulator panel as
+// JSON.
+
 #include <chrono>
+#include <cstring>
+#include <string>
 #include <thread>
 
 #include "bench_util.hpp"
@@ -42,7 +49,7 @@ double elapsed_seconds(
 }
 
 Result run_sim(core::EngineKind engine, std::size_t batch_size,
-               std::size_t total_commands) {
+               std::size_t total_commands, bool use_ed25519) {
   testutil::BatchRsmScenarioOptions options;
   options.n = 4;
   options.f = 1;
@@ -51,6 +58,7 @@ Result run_sim(core::EngineKind engine, std::size_t batch_size,
   options.commands_per_client = total_commands;
   options.batch_size = batch_size;
   options.max_in_flight = 4;
+  options.use_ed25519 = use_ed25519;
   // Enough rounds for the B=1 worst case (one batch per slot, K per
   // round) plus pipeline warm-up slack.
   options.max_rounds = total_commands + 64;
@@ -88,10 +96,11 @@ Result run_sim(core::EngineKind engine, std::size_t batch_size,
 }
 
 Result run_threads(core::EngineKind engine, std::size_t batch_size,
-                   std::size_t total_commands) {
+                   std::size_t total_commands, bool use_ed25519) {
   constexpr std::size_t n = 4;
   constexpr std::size_t f = 1;
-  auto signers = crypto::make_hmac_signer_set(n + 1, 1);
+  auto signers = use_ed25519 ? crypto::make_ed25519_signer_set(n + 1, 1)
+                             : crypto::make_hmac_signer_set(n + 1, 1);
 
   net::ThreadNetwork net;
   for (net::NodeId id = 0; id < n - f; ++id) {
@@ -144,13 +153,27 @@ Result run_threads(core::EngineKind engine, std::size_t batch_size,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool use_ed25519 = false;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--signer=ed25519") == 0) use_ed25519 = true;
+    else if (std::strcmp(argv[i], "--signer=hmac") == 0) use_ed25519 = false;
+    else if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+  }
+
   bench::header("B1 — batched proposal pipeline: commands/sec vs batch size",
                 "one signature + one agreement round amortized over B "
                 "commands scales RSM throughput (GWTS and GSbS)");
+  bench::row("signer scheme: %s", use_ed25519 ? "ed25519" : "hmac");
 
   const std::size_t kTotal = 256;
   bool all_ok = true;
+  std::string json = std::string("{\n  \"signer\": \"") +
+                     (use_ed25519 ? "ed25519" : "hmac") +
+                     "\",\n  \"n\": 4, \"f\": 1, \"commands\": 256,\n"
+                     "  \"results\": [\n";
+  bool json_first = true;
 
   bench::row("%-6s %6s %6s %6s | %12s %12s %12s %10s", "engine", "B", "K",
              "cmds", "cmds/sec", "delay/cmd", "sigchk/cmd", "msgs");
@@ -165,7 +188,7 @@ int main() {
 
   for (EngineRow& e : engines) {
     for (const std::size_t b : {1u, 8u, 64u, 256u}) {
-      const Result r = run_sim(e.kind, b, kTotal);
+      const Result r = run_sim(e.kind, b, kTotal, use_ed25519);
       all_ok = all_ok && r.live && r.state_ok;
       if (b == 1) e.batch1 = r.cmds_per_sec;
       if (b == 64) e.batch64 = r.cmds_per_sec;
@@ -173,10 +196,34 @@ int main() {
                  b, 4, kTotal, r.cmds_per_sec, r.sim_delay_per_cmd,
                  r.sig_checks_per_cmd,
                  static_cast<unsigned long long>(r.messages));
+      char row[256];
+      std::snprintf(row, sizeof(row),
+                    "    {\"engine\": \"%s\", \"batch\": %zu, "
+                    "\"cmds_per_sec\": %.0f, \"sig_checks_per_cmd\": %.3f, "
+                    "\"sim_delay_per_cmd\": %.2f, \"messages\": %llu}",
+                    e.name, b, r.cmds_per_sec, r.sig_checks_per_cmd,
+                    r.sim_delay_per_cmd,
+                    static_cast<unsigned long long>(r.messages));
+      if (!json_first) json += ",\n";
+      json += row;
+      json_first = false;
     }
     all_ok = all_ok && e.batch64 > e.batch1;
     bench::row("%-6s speedup batch=64 over batch=1: %.1fx", e.name,
                e.batch64 / e.batch1);
+    char row[128];
+    std::snprintf(row, sizeof(row),
+                  ",\n    {\"engine\": \"%s\", \"speedup_64_over_1\": %.1f}",
+                  e.name, e.batch64 / e.batch1);
+    json += row;
+  }
+  json += "\n  ]\n}\n";
+  if (json_path != nullptr) {
+    if (std::FILE* out = std::fopen(json_path, "w")) {
+      std::fputs(json.c_str(), out);
+      std::fclose(out);
+      bench::row("json written to %s", json_path);
+    }
   }
 
   bench::row("%s", "");
@@ -185,7 +232,8 @@ int main() {
              "live");
   for (const EngineRow& e : engines) {
     for (const std::size_t b : {1u, 64u}) {
-      const Result r = run_threads(e.kind, b, /*total_commands=*/64);
+      const Result r = run_threads(e.kind, b, /*total_commands=*/64,
+                                   use_ed25519);
       // Informational only — real-thread wall clock on shared hardware
       // is too noisy (and timeout-prone) to gate the exit code on.
       bench::row("%-6s %6zu %6zu | %12.0f %6s", e.name, b,

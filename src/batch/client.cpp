@@ -1,5 +1,7 @@
 #include "batch/client.hpp"
 
+#include <algorithm>
+
 #include "lattice/value.hpp"
 
 namespace bla::batch {
@@ -40,12 +42,28 @@ void BatchClient::on_message(net::IContext& ctx, NodeId from,
   if (from >= config_.n) return;  // only replicas speak to clients
   try {
     wire::Decoder dec(payload);
-    if (static_cast<core::MsgType>(dec.u8()) != core::MsgType::kRsmDecide) {
+    const auto type = static_cast<core::MsgType>(dec.u8());
+    if (type == core::MsgType::kRsmDecide) {
+      const lattice::ValueSet decided = lattice::decode_value_set(dec);
+      dec.expect_done();
+      pipeline_.on_decide_report(from, decided);
+    } else if (type == core::MsgType::kRsmDecideDigest) {
+      const std::uint64_t count = dec.uvarint();
+      if (count > lattice::kMaxSetElements) {
+        throw wire::WireError("oversized digest set");
+      }
+      std::set<crypto::Sha256::Digest> decided;
+      for (std::uint64_t i = 0; i < count; ++i) {
+        const wire::BytesView raw = dec.raw(crypto::Sha256::kDigestSize);
+        crypto::Sha256::Digest d;
+        std::copy(raw.begin(), raw.end(), d.begin());
+        decided.insert(d);
+      }
+      dec.expect_done();
+      pipeline_.on_decide_digest_report(from, decided);
+    } else {
       return;
     }
-    const lattice::ValueSet decided = lattice::decode_value_set(dec);
-    dec.expect_done();
-    pipeline_.on_decide_report(from, decided);
     pump(ctx);
     maybe_finish(ctx);
   } catch (const wire::WireError&) {

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "batch/batch.hpp"
+#include "crypto/sha256.hpp"
 #include "lattice/set_lattice.hpp"
 
 namespace bla::batch {
@@ -44,6 +45,8 @@ public:
   void mark_submitted(const SignedCommandBatch& b) {
     InFlight entry;
     entry.value = batch_value(b);
+    entry.digest =
+        crypto::Sha256::hash(std::span(entry.value.data(), entry.value.size()));
     entry.command_count = b.commands.size();
     in_flight_.emplace(b.seq, std::move(entry));
     max_in_flight_seen_ = std::max(max_in_flight_seen_, in_flight_.size());
@@ -53,24 +56,21 @@ public:
   /// just reached their completion quorum (their slots are freed).
   std::vector<std::uint64_t> on_decide_report(
       NodeId replica, const lattice::ValueSet& decided) {
-    std::vector<std::uint64_t> completed;
-    for (auto it = in_flight_.begin(); it != in_flight_.end();) {
-      InFlight& entry = it->second;
-      if (!decided.contains(entry.value)) {
-        ++it;
-        continue;
-      }
-      entry.reporters.insert(replica);
-      if (entry.reporters.size() >= config_.completion_quorum) {
-        completed.push_back(it->first);
-        commands_completed_ += entry.command_count;
-        ++batches_completed_;
-        it = in_flight_.erase(it);
-      } else {
-        ++it;
-      }
-    }
-    return completed;
+    return complete_matching(replica, [&](const InFlight& entry) {
+      return decided.contains(entry.value);
+    });
+  }
+
+  /// Digest-form decide report (kRsmDecideDigest): the replica shipped
+  /// SHA-256 element digests instead of bodies; matching our batch
+  /// value's digest is exactly as strong an inclusion witness per
+  /// reporter, and durability still requires the same quorum of
+  /// distinct reporters.
+  std::vector<std::uint64_t> on_decide_digest_report(
+      NodeId replica, const std::set<crypto::Sha256::Digest>& decided) {
+    return complete_matching(replica, [&](const InFlight& entry) {
+      return decided.contains(entry.digest);
+    });
   }
 
   [[nodiscard]] std::size_t in_flight() const { return in_flight_.size(); }
@@ -87,9 +87,32 @@ public:
 private:
   struct InFlight {
     Value value;  // the batch as a lattice value (what decide sets hold)
+    crypto::Sha256::Digest digest{};  // sha256(value), for digest reports
     std::size_t command_count = 0;
     std::set<NodeId> reporters;
   };
+
+  template <typename Pred>
+  std::vector<std::uint64_t> complete_matching(NodeId replica, Pred&& in_set) {
+    std::vector<std::uint64_t> completed;
+    for (auto it = in_flight_.begin(); it != in_flight_.end();) {
+      InFlight& entry = it->second;
+      if (!in_set(entry)) {
+        ++it;
+        continue;
+      }
+      entry.reporters.insert(replica);
+      if (entry.reporters.size() >= config_.completion_quorum) {
+        completed.push_back(it->first);
+        commands_completed_ += entry.command_count;
+        ++batches_completed_;
+        it = in_flight_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return completed;
+  }
 
   Config config_;
   std::map<std::uint64_t, InFlight> in_flight_;  // by batch seq

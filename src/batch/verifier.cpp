@@ -6,8 +6,11 @@
 namespace bla::batch {
 
 BatchVerifier::BatchVerifier(std::shared_ptr<const crypto::ISigner> verifier,
+                             std::shared_ptr<store::BodyStore> store,
                              std::size_t max_cache_entries)
-    : verifier_(std::move(verifier)), max_cache_entries_(max_cache_entries) {
+    : verifier_(std::move(verifier)),
+      store_(std::move(store)),
+      max_cache_entries_(max_cache_entries) {
   if (!verifier_) {
     throw std::invalid_argument("BatchVerifier requires a signing handle");
   }
@@ -34,7 +37,9 @@ bool BatchVerifier::verify(const SignedCommandBatch& b) {
   key_hash.update(digest);
   key_hash.update(b.signature);
   const crypto::Sha256::Digest cache_key = key_hash.finish();
-  if (verified_.contains(cache_key)) {
+  const bool hit = store_ ? store_->verified_contains(cache_key)
+                          : verified_.contains(cache_key);
+  if (hit) {
     ++cache_hits_;
     return true;
   }
@@ -43,8 +48,12 @@ bool BatchVerifier::verify(const SignedCommandBatch& b) {
     ++rejected_;
     return false;
   }
-  if (verified_.size() >= max_cache_entries_) verified_.clear();
-  verified_.insert(cache_key);
+  if (store_) {
+    store_->verified_insert(cache_key, max_cache_entries_);
+  } else {
+    if (verified_.size() >= max_cache_entries_) verified_.clear();
+    verified_.insert(cache_key);
+  }
   return true;
 }
 

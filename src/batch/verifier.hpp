@@ -18,14 +18,20 @@
 
 #include "batch/batch.hpp"
 #include "crypto/signer.hpp"
+#include "store/body_store.hpp"
 
 namespace bla::batch {
 
 class BatchVerifier {
 public:
   /// `verifier` may be any node's signing handle — ISigner::verify is
-  /// global (the PKI distributes every public key).
+  /// global (the PKI distributes every public key). When `store` is
+  /// given, the verified-digest cache lives in the shared BodyStore —
+  /// the same store that backs digest-only dissemination — so a body is
+  /// signature-checked exactly once per replica no matter which layer
+  /// (client admission, disclosure, decide-time expansion) saw it first.
   explicit BatchVerifier(std::shared_ptr<const crypto::ISigner> verifier,
+                         std::shared_ptr<store::BodyStore> store = nullptr,
                          std::size_t max_cache_entries = std::size_t{1} << 16);
 
   /// True iff the batch is structurally sound and its single signature
@@ -41,10 +47,12 @@ public:
 
 private:
   std::shared_ptr<const crypto::ISigner> verifier_;
+  std::shared_ptr<store::BodyStore> store_;  // may be null (own cache)
   std::size_t max_cache_entries_;
-  // Digests of batches whose signature already verified. Bounded: on
-  // overflow the cache is cleared (re-verification is correct, just
-  // slower), so Byzantine floods cannot grow it without bound.
+  // Digests of batches whose signature already verified (used when no
+  // shared store is attached). Bounded: on overflow the cache is cleared
+  // (re-verification is correct, just slower), so Byzantine floods
+  // cannot grow it without bound.
   std::set<crypto::Sha256::Digest> verified_;
   std::uint64_t signature_checks_ = 0;
   std::uint64_t cache_hits_ = 0;

@@ -1,5 +1,6 @@
 #include "core/adversary.hpp"
 
+#include "crypto/sha256.hpp"
 #include "lattice/value.hpp"
 #include "rbc/bracha.hpp"
 
@@ -9,11 +10,19 @@ namespace {
 
 wire::Bytes rbc_frame(rbc::MsgType type, NodeId origin, std::uint64_t tag,
                       wire::BytesView payload, bool with_origin) {
+  // SEND carries the payload body; ECHO/READY carry its digest (the
+  // digest-dissemination wire format — the adversary must speak it for
+  // its votes to enter correct processes' tallies).
   wire::Encoder enc;
   enc.u8(static_cast<std::uint8_t>(type));
   if (with_origin) enc.u32(origin);
   enc.u64(tag);
-  enc.bytes(payload);
+  if (type == rbc::MsgType::kSend) {
+    enc.bytes(payload);
+  } else {
+    const crypto::Sha256::Digest d = crypto::Sha256::hash(payload);
+    enc.raw(std::span(d.data(), d.size()));
+  }
   return enc.take();
 }
 

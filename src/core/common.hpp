@@ -44,7 +44,8 @@ static_assert(max_faulty(7) == 2);
 static_assert(max_faulty(10) == 3);
 
 /// Top-level message-type bytes. The first byte of every frame; RBC owns
-/// 1..3 (see rbc/bracha.hpp).
+/// 1..3 (see rbc/bracha.hpp) and the body-pull protocol owns 4..5
+/// (kFetchBody/kBodyReply, see store/fetch.hpp).
 enum class MsgType : std::uint8_t {
   // Payload types carried *inside* RBC deliveries.
   kDisclosure = 20,    // WTS/GWTS value disclosure
@@ -80,6 +81,11 @@ enum class MsgType : std::uint8_t {
   // Batched submission path (src/batch/): one SignedCommandBatch frame
   // carrying many commands under a single signature.
   kRsmNewBatch = 54,
+  // Decide notification as a set of SHA-256 element digests instead of
+  // full values — cumulative decided state otherwise re-ships every
+  // command to every client on every decision. Opt-in per replica
+  // (BatchClient matches digests; the plain RsmClient needs values).
+  kRsmDecideDigest = 55,
 };
 
 }  // namespace bla::core

@@ -14,14 +14,16 @@ std::unique_ptr<IAgreementEngine> make_engine(
   switch (kind) {
     case EngineKind::kGwts:
       return std::make_unique<GwtsProcess>(
-          GwtsConfig{config.self, config.n, config.f, config.max_rounds},
+          GwtsConfig{config.self, config.n, config.f, config.max_rounds,
+                     config.digest_refs, config.store},
           std::move(on_decide));
     case EngineKind::kGsbs:
       if (!signer) {
         throw std::invalid_argument("GSbS engine requires a signer");
       }
       return std::make_unique<GsbsProcess>(
-          GsbsConfig{config.self, config.n, config.f, config.max_rounds},
+          GsbsConfig{config.self, config.n, config.f, config.max_rounds,
+                     config.digest_refs, config.store},
           std::move(signer), std::move(on_decide));
   }
   throw std::invalid_argument("unknown engine kind");

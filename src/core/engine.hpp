@@ -20,6 +20,7 @@
 #include "crypto/sha256.hpp"
 #include "crypto/signer.hpp"
 #include "net/process.hpp"
+#include "store/body_store.hpp"
 
 namespace bla::core {
 
@@ -68,6 +69,13 @@ struct EngineConfig {
   std::size_t n = 0;
   std::size_t f = 0;
   std::uint64_t max_rounds = 0;  // 0 = unbounded
+  /// Digest-only dissemination (see src/store/): protocol frames carry
+  /// 32-byte body references; missing bodies are pulled on demand.
+  /// false = full-frame dissemination (the bytes/command bench baseline).
+  bool digest_refs = true;
+  /// Shared content-addressed body store. The RSM replica passes its own
+  /// (also backing the BatchVerifier cache); engines create one when null.
+  std::shared_ptr<store::BodyStore> store;
 };
 
 /// Builds an engine. `signer` is required for kGsbs (its protocol signs

@@ -12,52 +12,74 @@ constexpr std::size_t kMaxConflicts = 1 << 10;
 
 // ---------------------------------------------------------------------------
 // Codecs (local to GSbS).
+//
+// Transport only: batch value sets are ref-encoded (store/ref.hpp) so
+// safe-acks, proposals-with-proofs, and certificates — which echo the
+// same signed batches over and over — ship 32-byte references instead of
+// bodies. Signing bytes and the proposal digest stay on the canonical
+// inline encoding (lattice::encode_value_set), so references carry no
+// trust: a frame only acts once every reference resolved to bytes that
+// hash to its digest, and signatures are verified over resolved content.
 // ---------------------------------------------------------------------------
 
-void encode_signed_batch(wire::Encoder& enc, const SignedBatch& sb) {
+/// Transport-encode context: where referenced bodies are registered and
+/// whether references are emitted at all (false = inline full bodies —
+/// first-contact INIT frames, canonical re-encodings, bench baseline).
+struct Codec {
+  store::BodyStore* store = nullptr;
+  bool refs = false;
+};
+
+void encode_signed_batch(wire::Encoder& enc, const SignedBatch& sb,
+                         const Codec& codec) {
   enc.u32(sb.signer);
   enc.u64(sb.round);
-  lattice::encode_value_set(enc, sb.batch);
+  store::encode_value_set_ref(enc, sb.batch, codec.store, codec.refs);
   enc.bytes(sb.signature);
 }
 
-SignedBatch decode_signed_batch(wire::Decoder& dec) {
+SignedBatch decode_signed_batch(wire::Decoder& dec,
+                                store::RefResolver& resolver) {
   SignedBatch sb;
   sb.signer = dec.u32();
   sb.round = dec.u64();
-  sb.batch = lattice::decode_value_set(dec);
+  sb.batch = resolver.value_set(dec);
   sb.signature = dec.bytes();
   if (sb.signature.size() > 128) throw wire::WireError("oversized signature");
   return sb;
 }
 
-void encode_batch_safe_ack(wire::Encoder& enc, const BatchSafeAck& ack) {
+void encode_batch_safe_ack(wire::Encoder& enc, const BatchSafeAck& ack,
+                           const Codec& codec) {
   enc.u32(ack.acceptor);
   enc.u64(ack.round);
   enc.uvarint(ack.received.size());
-  for (const SignedBatch& sb : ack.received) encode_signed_batch(enc, sb);
+  for (const SignedBatch& sb : ack.received) {
+    encode_signed_batch(enc, sb, codec);
+  }
   enc.uvarint(ack.conflicts.size());
   for (const auto& [a, b] : ack.conflicts) {
-    encode_signed_batch(enc, a);
-    encode_signed_batch(enc, b);
+    encode_signed_batch(enc, a, codec);
+    encode_signed_batch(enc, b, codec);
   }
   enc.bytes(ack.signature);
 }
 
-BatchSafeAck decode_batch_safe_ack(wire::Decoder& dec) {
+BatchSafeAck decode_batch_safe_ack(wire::Decoder& dec,
+                                   store::RefResolver& resolver) {
   BatchSafeAck ack;
   ack.acceptor = dec.u32();
   ack.round = dec.u64();
   const std::uint64_t nr = dec.uvarint();
   if (nr > kMaxBatchesPerMessage) throw wire::WireError("oversized ack");
   for (std::uint64_t i = 0; i < nr; ++i) {
-    ack.received.push_back(decode_signed_batch(dec));
+    ack.received.push_back(decode_signed_batch(dec, resolver));
   }
   const std::uint64_t nc = dec.uvarint();
   if (nc > kMaxConflicts) throw wire::WireError("oversized conflicts");
   for (std::uint64_t i = 0; i < nc; ++i) {
-    SignedBatch a = decode_signed_batch(dec);
-    SignedBatch b = decode_signed_batch(dec);
+    SignedBatch a = decode_signed_batch(dec, resolver);
+    SignedBatch b = decode_signed_batch(dec, resolver);
     ack.conflicts.emplace_back(std::move(a), std::move(b));
   }
   ack.signature = dec.bytes();
@@ -66,27 +88,31 @@ BatchSafeAck decode_batch_safe_ack(wire::Decoder& dec) {
 }
 
 void encode_proposal(wire::Encoder& enc,
-                     const std::vector<ProvenBatch>& proposal) {
+                     const std::vector<ProvenBatch>& proposal,
+                     const Codec& codec) {
   enc.uvarint(proposal.size());
   for (const ProvenBatch& pb : proposal) {
-    encode_signed_batch(enc, pb.sb);
+    encode_signed_batch(enc, pb.sb, codec);
     enc.uvarint(pb.proof.size());
-    for (const BatchSafeAck& ack : pb.proof) encode_batch_safe_ack(enc, ack);
+    for (const BatchSafeAck& ack : pb.proof) {
+      encode_batch_safe_ack(enc, ack, codec);
+    }
   }
 }
 
-std::vector<ProvenBatch> decode_proposal(wire::Decoder& dec) {
+std::vector<ProvenBatch> decode_proposal(wire::Decoder& dec,
+                                         store::RefResolver& resolver) {
   const std::uint64_t count = dec.uvarint();
   if (count > kMaxBatchesPerMessage) throw wire::WireError("oversized");
   std::vector<ProvenBatch> out;
   out.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
     ProvenBatch pb;
-    pb.sb = decode_signed_batch(dec);
+    pb.sb = decode_signed_batch(dec, resolver);
     const std::uint64_t np = dec.uvarint();
     if (np > kMaxProofAcks) throw wire::WireError("oversized proof");
     for (std::uint64_t j = 0; j < np; ++j) {
-      pb.proof.push_back(decode_batch_safe_ack(dec));
+      pb.proof.push_back(decode_batch_safe_ack(dec, resolver));
     }
     out.push_back(std::move(pb));
   }
@@ -113,19 +139,20 @@ SignedAck decode_signed_ack(wire::Decoder& dec) {
   return ack;
 }
 
-void encode_cert(wire::Encoder& enc, const DecidedCert& cert) {
+void encode_cert(wire::Encoder& enc, const DecidedCert& cert,
+                 const Codec& codec) {
   enc.u64(cert.round);
   enc.u64(cert.ts);
-  encode_proposal(enc, cert.proposal);
+  encode_proposal(enc, cert.proposal, codec);
   enc.uvarint(cert.acks.size());
   for (const SignedAck& ack : cert.acks) encode_signed_ack(enc, ack);
 }
 
-DecidedCert decode_cert(wire::Decoder& dec) {
+DecidedCert decode_cert(wire::Decoder& dec, store::RefResolver& resolver) {
   DecidedCert cert;
   cert.round = dec.u64();
   cert.ts = dec.u64();
-  cert.proposal = decode_proposal(dec);
+  cert.proposal = decode_proposal(dec, resolver);
   const std::uint64_t na = dec.uvarint();
   if (na > kMaxProofAcks) throw wire::WireError("oversized cert");
   for (std::uint64_t i = 0; i < na; ++i) {
@@ -169,9 +196,18 @@ ValueSet proposal_union(const std::vector<ProvenBatch>& proposal) {
 GsbsProcess::GsbsProcess(GsbsConfig config,
                          std::shared_ptr<const crypto::ISigner> signer,
                          DecideFn on_decide)
-    : config_(config),
+    : config_(std::move(config)),
       signer_(std::move(signer)),
-      on_decide_(std::move(on_decide)) {}
+      on_decide_(std::move(on_decide)),
+      store_(config_.store ? config_.store
+                           : std::make_shared<store::BodyStore>()),
+      fetcher_(std::make_unique<store::BodyFetcher>(
+          store::BodyFetcher::Config{config_.self, config_.n,
+                                     lattice::kMaxValueBytes,
+                                     /*fanout=*/config_.f + 1},
+          store_,
+          [this](NodeId to, wire::Bytes b) { ctx_->send(to, std::move(b)); })) {
+}
 
 void GsbsProcess::submit(Value value) {
   const std::uint64_t target = started_ ? round_ + 1 : 0;
@@ -335,9 +371,12 @@ void GsbsProcess::start_round() {
   sb.signature = signer_->sign(batch_signing_bytes(sb));
   index_batch(init_seen_[round_], sb);
 
+  // INIT inlines the batch bodies — first contact with the content; the
+  // Codec still registers them in the store so every later reference we
+  // emit (safe-req onward) is servable.
   wire::Encoder enc;
   enc.u8(static_cast<std::uint8_t>(MsgType::kGsbsInit));
-  encode_signed_batch(enc, sb);
+  encode_signed_batch(enc, sb, Codec{store_.get(), false});
   ctx_->broadcast(enc.take());
   maybe_enter_safetying();
 }
@@ -354,7 +393,9 @@ void GsbsProcess::maybe_enter_safetying() {
   enc.u8(static_cast<std::uint8_t>(MsgType::kGsbsSafeReq));
   enc.u64(round_);
   enc.uvarint(safety_snapshot_.size());
-  for (const SignedBatch& sb : safety_snapshot_) encode_signed_batch(enc, sb);
+  for (const SignedBatch& sb : safety_snapshot_) {
+    encode_signed_batch(enc, sb, Codec{store_.get(), config_.digest_refs});
+  }
   ctx_->broadcast(enc.take());
 }
 
@@ -389,18 +430,21 @@ void GsbsProcess::send_ack_req() {
   proposal.reserve(proposed_.size());
   for (const auto& [sb, proof] : proposed_) proposal.push_back({sb, proof});
 
+  // The proposal is cumulative and every batch drags its quorum of
+  // safe-ack proofs along — by far the heaviest GSbS frame. References
+  // collapse each repeated batch body to 33 bytes.
   wire::Encoder enc;
   enc.u8(static_cast<std::uint8_t>(MsgType::kGsbsAckReq));
   enc.u64(ts_);
   enc.u64(round_);
-  encode_proposal(enc, proposal);
+  encode_proposal(enc, proposal, Codec{store_.get(), config_.digest_refs});
   ctx_->broadcast(enc.take());
 }
 
 void GsbsProcess::broadcast_cert_and_decide(DecidedCert cert) {
   wire::Encoder enc;
   enc.u8(static_cast<std::uint8_t>(MsgType::kGsbsDecided));
-  encode_cert(enc, cert);
+  encode_cert(enc, cert, Codec{store_.get(), config_.digest_refs});
   ctx_->broadcast(enc.take());
 
   const std::uint64_t round = cert.round;
@@ -452,13 +496,15 @@ void GsbsProcess::drain_buffers() {
       if (it->round <= safe_r_) {
         BufferedReq req = std::move(*it);
         it = buffered_reqs_.erase(it);
-        // Replay through the acceptor path now that the round is trusted.
+        // Replay through the acceptor path now that the round is
+        // trusted. Local loop: inline encoding, nothing to pull.
         wire::Encoder enc;
         enc.u64(req.ts);
         enc.u64(req.round);
-        encode_proposal(enc, req.proposal);
+        encode_proposal(enc, req.proposal, Codec{store_.get(), false});
         wire::Decoder dec(enc.view());
-        on_ack_req(req.from, dec);
+        store::RefResolver resolver(store_.get());
+        on_ack_req(req.from, dec, resolver, {});
         progress = true;
       } else {
         ++it;
@@ -476,28 +522,46 @@ void GsbsProcess::on_message(net::IContext& ctx, NodeId from,
   ctx_ = &ctx;
   try {
     wire::Decoder dec(payload);
+    const std::uint8_t type = dec.u8();
+    if (fetcher_->handle(from, type, dec)) {
+      // Body-pull traffic; parked frames may have replayed inside.
+      ctx_ = nullptr;
+      return;
+    }
+  } catch (const wire::WireError&) {
+    ctx_ = nullptr;
+    return;  // empty frame: Byzantine; drop
+  }
+  handle_frame(from, payload);
+  ctx_ = nullptr;
+}
+
+void GsbsProcess::handle_frame(NodeId from, wire::BytesView frame) {
+  try {
+    wire::Decoder dec(frame);
     const auto type = static_cast<MsgType>(dec.u8());
+    store::RefResolver resolver(store_.get());
     switch (type) {
       case MsgType::kGsbsInit:
-        on_init(from, dec);
+        on_init(from, dec, resolver, frame);
         break;
       case MsgType::kGsbsSafeReq:
-        on_safe_req(from, dec);
+        on_safe_req(from, dec, resolver, frame);
         break;
       case MsgType::kGsbsSafeAck:
-        on_safe_ack(from, dec);
+        on_safe_ack(from, dec, resolver, frame);
         break;
       case MsgType::kGsbsAckReq:
-        on_ack_req(from, dec);
+        on_ack_req(from, dec, resolver, frame);
         break;
       case MsgType::kGsbsAck:
         on_ack(from, dec);
         break;
       case MsgType::kGsbsNack:
-        on_nack(from, dec);
+        on_nack(from, dec, resolver, frame);
         break;
       case MsgType::kGsbsDecided:
-        on_decided(from, dec);
+        on_decided(from, dec, resolver, frame);
         break;
       default:
         break;
@@ -505,28 +569,51 @@ void GsbsProcess::on_message(net::IContext& ctx, NodeId from,
   } catch (const wire::WireError&) {
     // Byzantine; drop.
   }
-  ctx_ = nullptr;
 }
 
-void GsbsProcess::on_init(NodeId from, wire::Decoder& dec) {
-  SignedBatch sb = decode_signed_batch(dec);
+void GsbsProcess::park(NodeId from, const store::RefResolver& resolver,
+                       wire::BytesView frame) {
+  // The frame references bodies we do not hold: pull them (the sender
+  // encoded the references, so it has the bodies — first hint) and
+  // replay the whole frame once they land.
+  wire::Bytes copy(frame.begin(), frame.end());
+  fetcher_->await(resolver.missing(), {from},
+                  [this, from, copy = std::move(copy)] {
+                    handle_frame(from, copy);
+                  });
+}
+
+void GsbsProcess::on_init(NodeId from, wire::Decoder& dec,
+                          store::RefResolver& resolver,
+                          wire::BytesView frame) {
+  SignedBatch sb = decode_signed_batch(dec, resolver);
   dec.expect_done();
+  if (!resolver.complete()) {
+    park(from, resolver, frame);
+    return;
+  }
   if (sb.signer != from) return;  // INIT commits the *sender's* batch
   if (!verify_signed_batch(sb)) return;
   index_batch(init_seen_[sb.round], sb);
   if (sb.round == round_) maybe_enter_safetying();
 }
 
-void GsbsProcess::on_safe_req(NodeId from, wire::Decoder& dec) {
+void GsbsProcess::on_safe_req(NodeId from, wire::Decoder& dec,
+                              store::RefResolver& resolver,
+                              wire::BytesView frame) {
   const std::uint64_t round = dec.u64();
   const std::uint64_t count = dec.uvarint();
   if (count > kMaxBatchesPerMessage) throw wire::WireError("oversized");
   std::vector<SignedBatch> set;
   set.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
-    set.push_back(decode_signed_batch(dec));
+    set.push_back(decode_signed_batch(dec, resolver));
   }
   dec.expect_done();
+  if (!resolver.complete()) {
+    park(from, resolver, frame);
+    return;
+  }
   const bool ok =
       std::all_of(set.begin(), set.end(), [&](const SignedBatch& sb) {
         return sb.round == round && verify_signed_batch(sb);
@@ -549,15 +636,21 @@ void GsbsProcess::on_safe_req(NodeId from, wire::Decoder& dec) {
 
   wire::Encoder enc;
   enc.u8(static_cast<std::uint8_t>(MsgType::kGsbsSafeAck));
-  encode_batch_safe_ack(enc, ack);
+  encode_batch_safe_ack(enc, ack, Codec{store_.get(), config_.digest_refs});
   ctx_->send(from, enc.take());
   candidate_seen_[round] = std::move(merged);
 }
 
-void GsbsProcess::on_safe_ack(NodeId from, wire::Decoder& dec) {
+void GsbsProcess::on_safe_ack(NodeId from, wire::Decoder& dec,
+                              store::RefResolver& resolver,
+                              wire::BytesView frame) {
   if (state_ != State::kSafetying) return;
-  BatchSafeAck ack = decode_batch_safe_ack(dec);
+  BatchSafeAck ack = decode_batch_safe_ack(dec, resolver);
   dec.expect_done();
+  if (!resolver.complete()) {
+    park(from, resolver, frame);
+    return;
+  }
   if (ack.acceptor != from || ack.round != round_) return;
   std::vector<SignedBatch> rcvd_sorted = ack.received;
   std::sort(rcvd_sorted.begin(), rcvd_sorted.end());
@@ -569,10 +662,17 @@ void GsbsProcess::on_safe_ack(NodeId from, wire::Decoder& dec) {
   }
 }
 
-void GsbsProcess::on_ack_req(NodeId from, wire::Decoder& dec) {
+void GsbsProcess::on_ack_req(NodeId from, wire::Decoder& dec,
+                             store::RefResolver& resolver,
+                             wire::BytesView frame) {
   const std::uint64_t ts = dec.u64();
   const std::uint64_t round = dec.u64();
-  std::vector<ProvenBatch> proposal = decode_proposal(dec);
+  std::vector<ProvenBatch> proposal = decode_proposal(dec, resolver);
+  dec.expect_done();
+  if (!resolver.complete()) {
+    park(from, resolver, frame);
+    return;
+  }
 
   if (round > safe_r_) {
     // Round not yet trusted (Lemma 7's gate): park the request. If we
@@ -613,7 +713,7 @@ void GsbsProcess::on_ack_req(NodeId from, wire::Decoder& dec) {
     enc.u8(static_cast<std::uint8_t>(MsgType::kGsbsNack));
     enc.u64(ts);
     enc.u64(round);
-    encode_proposal(enc, mine);
+    encode_proposal(enc, mine, Codec{store_.get(), config_.digest_refs});
     ctx_->send(from, enc.take());
     for (auto& [sb, proof] : rcvd) accepted_.emplace(sb, proof);
   }
@@ -624,7 +724,8 @@ void GsbsProcess::on_ack_req(NodeId from, wire::Decoder& dec) {
   if (cert_it != certs_.end()) {
     wire::Encoder enc;
     enc.u8(static_cast<std::uint8_t>(MsgType::kGsbsDecided));
-    encode_cert(enc, cert_it->second);
+    encode_cert(enc, cert_it->second,
+                Codec{store_.get(), config_.digest_refs});
     ctx_->send(from, enc.take());
   }
 }
@@ -651,13 +752,18 @@ void GsbsProcess::on_ack(NodeId from, wire::Decoder& dec) {
   }
 }
 
-void GsbsProcess::on_nack(NodeId from, wire::Decoder& dec) {
+void GsbsProcess::on_nack(NodeId from, wire::Decoder& dec,
+                          store::RefResolver& resolver,
+                          wire::BytesView frame) {
   if (state_ != State::kProposing) return;
   const std::uint64_t ts = dec.u64();
   const std::uint64_t round = dec.u64();
-  std::vector<ProvenBatch> proposal = decode_proposal(dec);
+  std::vector<ProvenBatch> proposal = decode_proposal(dec, resolver);
   dec.expect_done();
-  (void)from;
+  if (!resolver.complete()) {
+    park(from, resolver, frame);
+    return;
+  }
   if (ts != ts_ || round != round_) return;
   const bool grows = std::any_of(
       proposal.begin(), proposal.end(),
@@ -673,18 +779,26 @@ void GsbsProcess::on_nack(NodeId from, wire::Decoder& dec) {
   send_ack_req();
 }
 
-void GsbsProcess::on_decided(NodeId /*from*/, wire::Decoder& dec) {
-  DecidedCert cert = decode_cert(dec);
+void GsbsProcess::on_decided(NodeId from, wire::Decoder& dec,
+                             store::RefResolver& resolver,
+                             wire::BytesView frame) {
+  DecidedCert cert = decode_cert(dec, resolver);
   dec.expect_done();
+  if (!resolver.complete()) {
+    park(from, resolver, frame);
+    return;
+  }
   // Replay guard over the *canonical re-encoding*: a certificate already
   // processed — accepted or rejected — is never re-verified, so a
   // Byzantine peer resending it pays us only an encode+hash, not a
   // quorum of signature checks. Hashing raw frame bytes would not work:
-  // the decoder tolerates non-minimal varints, so one certificate has
-  // unboundedly many byte-distinct frame spellings.
+  // the decoder tolerates non-minimal varints (and now reference vs
+  // inline spellings), so one certificate has unboundedly many
+  // byte-distinct frame spellings. The canonical form is the inline
+  // (ref-free) encoding.
   {
     wire::Encoder canonical;
-    encode_cert(canonical, cert);
+    encode_cert(canonical, cert, Codec{nullptr, false});
     const crypto::Sha256::Digest digest =
         crypto::Sha256::hash(std::span(canonical.view()));
     if (certs_processed_.contains(digest)) {

@@ -32,6 +32,8 @@
 #include "crypto/sha256.hpp"
 #include "crypto/signer.hpp"
 #include "net/process.hpp"
+#include "store/fetch.hpp"
+#include "store/ref.hpp"
 
 namespace bla::core {
 
@@ -94,6 +96,13 @@ struct GsbsConfig {
   std::size_t n = 0;
   std::size_t f = 0;
   std::uint64_t max_rounds = 0;  // 0 = unbounded
+  /// Digest-only dissemination: safe-acks, proposals (with their
+  /// proofs), and decided certificates carry 32-byte value references;
+  /// INIT batches stay inline (first contact). Missing bodies are pulled
+  /// via the store protocol. false = full frames (bench baseline).
+  bool digest_refs = true;
+  /// Shared content-addressed body store (created internally when null).
+  std::shared_ptr<store::BodyStore> store;
 };
 
 class GsbsProcess : public IAgreementEngine {
@@ -128,6 +137,10 @@ public:
   [[nodiscard]] std::uint64_t current_round() const { return round_; }
   [[nodiscard]] std::uint64_t trusted_round() const { return safe_r_; }
   [[nodiscard]] std::size_t refinement_count() const { return refinements_; }
+  [[nodiscard]] const store::BodyFetcher::Stats& fetch_stats() const {
+    return fetcher_->stats();
+  }
+  [[nodiscard]] const store::BodyStore& body_store() const { return *store_; }
 
 private:
   enum class State { kInit, kSafetying, kProposing, kStopped };
@@ -167,18 +180,32 @@ private:
   void drain_buffers();
 
   // -- handlers -------------------------------------------------------------
-  void on_init(NodeId from, wire::Decoder& dec);
-  void on_safe_req(NodeId from, wire::Decoder& dec);
-  void on_safe_ack(NodeId from, wire::Decoder& dec);
-  void on_ack_req(NodeId from, wire::Decoder& dec);
+  // Each handler fully decodes (resolving value references) before any
+  // side effect; a frame whose referenced bodies are absent is parked via
+  // park() and replayed through handle_frame once the pull completes.
+  void handle_frame(NodeId from, wire::BytesView frame);
+  void park(NodeId from, const store::RefResolver& resolver,
+            wire::BytesView frame);
+  void on_init(NodeId from, wire::Decoder& dec, store::RefResolver& resolver,
+               wire::BytesView frame);
+  void on_safe_req(NodeId from, wire::Decoder& dec,
+                   store::RefResolver& resolver, wire::BytesView frame);
+  void on_safe_ack(NodeId from, wire::Decoder& dec,
+                   store::RefResolver& resolver, wire::BytesView frame);
+  void on_ack_req(NodeId from, wire::Decoder& dec,
+                  store::RefResolver& resolver, wire::BytesView frame);
   void on_ack(NodeId from, wire::Decoder& dec);
-  void on_nack(NodeId from, wire::Decoder& dec);
-  void on_decided(NodeId from, wire::Decoder& dec);
+  void on_nack(NodeId from, wire::Decoder& dec,
+               store::RefResolver& resolver, wire::BytesView frame);
+  void on_decided(NodeId from, wire::Decoder& dec,
+                  store::RefResolver& resolver, wire::BytesView frame);
 
   GsbsConfig config_;
   std::shared_ptr<const crypto::ISigner> signer_;
   DecideFn on_decide_;
   net::IContext* ctx_ = nullptr;
+  std::shared_ptr<store::BodyStore> store_;
+  std::unique_ptr<store::BodyFetcher> fetcher_;
 
   State state_ = State::kInit;
   std::uint64_t round_ = 0;

@@ -7,10 +7,13 @@ constexpr std::size_t kMaxWaitingMsgs = 1 << 16;
 }  // namespace
 
 GwtsProcess::GwtsProcess(GwtsConfig config, DecideFn on_decide)
-    : config_(config),
+    : config_(std::move(config)),
       on_decide_(std::move(on_decide)),
+      store_(config_.store ? config_.store
+                           : std::make_shared<store::BodyStore>()),
       rbc_(
-          rbc::BrachaRbc::Config{config.self, config.n, config.f},
+          rbc::BrachaRbc::Config{config_.self, config_.n, config_.f,
+                                 config_.digest_refs, store_},
           [this](NodeId to, wire::Bytes bytes) {
             ctx_->send(to, std::move(bytes));
           },
@@ -43,9 +46,13 @@ void GwtsProcess::start_round() {
   const ValueSet& batch = batches_[round_];
   proposed_set_.merge(batch);
 
+  // Inline spelling (refs=false: disclosure is first contact with the
+  // content), but through the ref codec — receivers decode disclosures
+  // with a RefResolver, so the escape rules must match on both sides —
+  // and registering the bodies in our store up front serves early pulls.
   wire::Encoder enc;
   enc.u8(static_cast<std::uint8_t>(MsgType::kDisclosure));
-  lattice::encode_value_set(enc, batch);
+  store::encode_value_set_ref(enc, batch, store_.get(), /*refs=*/false);
   enc.u64(round_);
   rbc_.broadcast(/*tag=*/round_, enc.view());
   // The transition below may already hold if n-f disclosures for this
@@ -65,9 +72,13 @@ void GwtsProcess::begin_proposing() {
 }
 
 void GwtsProcess::send_ack_req() {
+  // The proposed set is cumulative across rounds; references keep the
+  // rebroadcast cost at 33 bytes per value instead of the full body
+  // (every value in it was disclosed, so acceptors hold the bodies).
   wire::Encoder enc;
   enc.u8(static_cast<std::uint8_t>(MsgType::kAckReq));
-  lattice::encode_value_set(enc, proposed_set_);
+  store::encode_value_set_ref(enc, proposed_set_, store_.get(),
+                              config_.digest_refs);
   enc.u64(ts_);
   enc.u64(round_);
   ctx_->broadcast(enc.take());
@@ -80,22 +91,47 @@ void GwtsProcess::on_message(net::IContext& ctx, NodeId from,
     wire::Decoder dec(payload);
     const std::uint8_t type = dec.u8();
     if (rbc_.handle(from, type, dec)) {
+      // RBC or body-pull frame. Deliveries, parked replays, and fetch
+      // traffic all ran inside handle() with ctx_ set.
       ctx_ = nullptr;
       return;
     }
+  } catch (const wire::WireError&) {
+    ctx_ = nullptr;
+    return;  // empty/truncated frame: Byzantine; drop
+  }
+  handle_point_frame(from, payload);
+  ctx_ = nullptr;
+}
+
+void GwtsProcess::handle_point_frame(NodeId from, wire::BytesView payload) {
+  try {
+    wire::Decoder dec(payload);
     PendingPoint msg;
     msg.from = from;
-    msg.type = static_cast<MsgType>(type);
+    msg.type = static_cast<MsgType>(dec.u8());
     switch (msg.type) {
       case MsgType::kAckReq:
-      case MsgType::kNack:
-        msg.set = lattice::decode_value_set(dec);
+      case MsgType::kNack: {
+        store::RefResolver resolver(store_.get());
+        msg.set = resolver.value_set(dec);
         msg.ts = dec.u64();
         msg.round = dec.u64();
         dec.expect_done();
+        if (!resolver.complete()) {
+          // References we cannot resolve yet: park the frame and replay
+          // it once the bodies are pulled (the sender encoded the refs,
+          // so it holds the bodies — best first hint).
+          wire::Bytes copy(payload.begin(), payload.end());
+          rbc_.fetcher().await(resolver.missing(), {from},
+                               [this, from, copy = std::move(copy)] {
+                                 handle_point_frame(from, copy);
+                               });
+          return;
+        }
         break;
+      }
       default:
-        ctx_ = nullptr;
         return;  // not a GWTS point-to-point message
     }
     if (waiting_point_.size() < kMaxWaitingMsgs) {
@@ -105,7 +141,6 @@ void GwtsProcess::on_message(net::IContext& ctx, NodeId from,
   } catch (const wire::WireError&) {
     // Malformed: Byzantine; drop.
   }
-  ctx_ = nullptr;
 }
 
 void GwtsProcess::on_rbc_deliver(NodeId origin, std::uint64_t tag,
@@ -121,14 +156,27 @@ void GwtsProcess::on_rbc_deliver(NodeId origin, std::uint64_t tag,
   }
 }
 
-void GwtsProcess::on_disclosure(NodeId /*origin*/, std::uint64_t round,
+void GwtsProcess::on_disclosure(NodeId origin, std::uint64_t round,
                                 wire::Bytes payload) {
   wire::Decoder dec(payload);
   if (static_cast<MsgType>(dec.u8()) != MsgType::kDisclosure) return;
-  ValueSet batch = lattice::decode_value_set(dec);
+  // Honest disclosures inline their values (first contact with the
+  // content) and the resolver absorbs the bodies into the store, which
+  // is what later digest references resolve against. References inside
+  // a disclosure still resolve/pull correctly (Byzantine senders may
+  // produce them).
+  store::RefResolver resolver(store_.get());
+  ValueSet batch = resolver.value_set(dec);
   const std::uint64_t declared_round = dec.u64();
   dec.expect_done();
   if (declared_round != round) return;  // tag / payload mismatch: Byzantine
+  if (!resolver.complete()) {
+    rbc_.fetcher().await(resolver.missing(), {origin},
+                         [this, origin, round, payload] {
+                           on_disclosure(origin, round, payload);
+                         });
+    return;
+  }
 
   // Alg. 3 lines 16-20. The RBC tag pins (origin, round), so each origin
   // contributes at most one batch per round (Observation 3).
@@ -163,9 +211,18 @@ void GwtsProcess::on_broadcast_ack(NodeId acceptor, wire::Bytes payload) {
   if (static_cast<MsgType>(dec.u8()) != MsgType::kGwtsAck) return;
   PendingAck pending;
   pending.acceptor = acceptor;
-  ValueSet set = lattice::decode_value_set(dec);
+  store::RefResolver resolver(store_.get());
+  ValueSet set = resolver.value_set(dec);
   pending.key.round = dec.u64();
   dec.expect_done();
+  if (!resolver.complete()) {
+    // The acceptor holds every body its (cumulative) ack references.
+    rbc_.fetcher().await(resolver.missing(), {acceptor},
+                         [this, acceptor, payload] {
+                           on_broadcast_ack(acceptor, payload);
+                         });
+    return;
+  }
   pending.key.set_elems = set.elements();
 
   if (waiting_acks_.size() < kMaxWaitingMsgs) {
@@ -272,16 +329,22 @@ void GwtsProcess::handle_ack_req(const PendingPoint& msg) {
     // everyone) and would blow the §6.4 message bound.
     AckKey key{accepted_set_.elements(), msg.round};
     if (ack_broadcasts_done_.insert(key).second) {
+      // The accepted set is cumulative — the by-far biggest repeat
+      // offender in bytes (it rides an O(n²) RBC per ack). References
+      // cut it to 33 bytes per value; every receiver saw the bodies via
+      // disclosure or pulls them from us.
       wire::Encoder enc;
       enc.u8(static_cast<std::uint8_t>(MsgType::kGwtsAck));
-      lattice::encode_value_set(enc, accepted_set_);
+      store::encode_value_set_ref(enc, accepted_set_, store_.get(),
+                                  config_.digest_refs);
       enc.u64(msg.round);
       rbc_.broadcast(kAckTagBase | ack_tag_counter_++, enc.view());
     }
   } else {
     wire::Encoder enc;
     enc.u8(static_cast<std::uint8_t>(MsgType::kNack));
-    lattice::encode_value_set(enc, accepted_set_);
+    store::encode_value_set_ref(enc, accepted_set_, store_.get(),
+                                config_.digest_refs);
     enc.u64(msg.ts);
     enc.u64(msg.round);
     ctx_->send(msg.from, enc.take());

@@ -34,6 +34,7 @@
 #include "core/engine.hpp"
 #include "net/process.hpp"
 #include "rbc/bracha.hpp"
+#include "store/ref.hpp"
 
 namespace bla::core {
 
@@ -45,6 +46,14 @@ struct GwtsConfig {
   /// keep serving as acceptors after exhausting the budget so peers still
   /// make progress; simulations use this to reach quiescence.
   std::uint64_t max_rounds = 0;
+  /// Digest-only dissemination: Bracha ECHO/READY carry payload digests,
+  /// and ack/proposal value sets ship 32-byte references instead of
+  /// bodies (disclosures stay inline — they are first contact with the
+  /// content). false = full-frame dissemination (bench baseline).
+  bool digest_refs = true;
+  /// Shared content-addressed body store (created internally when null;
+  /// the RSM replica passes its own so batch bodies are stored once).
+  std::shared_ptr<store::BodyStore> store;
 };
 
 class GwtsProcess : public IAgreementEngine {
@@ -76,6 +85,13 @@ public:
   [[nodiscard]] std::uint64_t current_round() const { return round_; }
   [[nodiscard]] std::uint64_t safe_round() const { return safe_r_; }
   [[nodiscard]] std::size_t refinement_count() const { return refinements_; }
+  [[nodiscard]] const rbc::BrachaRbc::Stats& rbc_stats() const {
+    return rbc_.stats();
+  }
+  [[nodiscard]] const store::BodyFetcher::Stats& fetch_stats() const {
+    return rbc_.fetcher().stats();
+  }
+  [[nodiscard]] const store::BodyStore& body_store() const { return *store_; }
 
   /// True iff `set` was accepted by a Byzantine quorum (appears
   /// ⌊(n+f)/2⌋+1 times in Ack_history for one round). This is exactly the
@@ -127,6 +143,10 @@ private:
   void start_round();
   void begin_proposing();
   void send_ack_req();
+  /// Point-to-point frame body (after the type byte was consumed by
+  /// on_message); also the replay target for frames parked on missing
+  /// bodies. Requires ctx_ set.
+  void handle_point_frame(NodeId from, wire::BytesView payload);
   void on_rbc_deliver(NodeId origin, std::uint64_t tag, wire::Bytes payload);
   void on_disclosure(NodeId origin, std::uint64_t round, wire::Bytes payload);
   void on_broadcast_ack(NodeId acceptor, wire::Bytes payload);
@@ -139,6 +159,9 @@ private:
   GwtsConfig config_;
   DecideFn on_decide_;
   net::IContext* ctx_ = nullptr;
+  // Declared before rbc_: the RBC shares this store (its digest frames
+  // and our value references resolve against the same bodies).
+  std::shared_ptr<store::BodyStore> store_;
   rbc::BrachaRbc rbc_;
 
   // Proposer state (Alg. 3).

@@ -98,6 +98,7 @@ void Sha512::compress(const std::uint8_t* block) {
 }
 
 void Sha512::update(std::span<const std::uint8_t> data) {
+  if (data.empty()) return;  // memcpy(_, nullptr, 0) is UB
   total_len_ += data.size();
   std::size_t offset = 0;
   if (buffer_len_ > 0) {

@@ -1,15 +1,29 @@
 #include "rbc/bracha.hpp"
 
+#include <algorithm>
+
 namespace bla::rbc {
 
 BrachaRbc::BrachaRbc(Config config, SendFn send, DeliverFn deliver)
-    : config_(config), send_(std::move(send)), deliver_(std::move(deliver)) {}
+    : config_(std::move(config)),
+      send_(std::move(send)),
+      deliver_(std::move(deliver)),
+      store_(config_.store ? config_.store
+                           : std::make_shared<store::BodyStore>()),
+      fetcher_(
+          store::BodyFetcher::Config{config_.self, config_.n,
+                                     kMaxPayloadBytes,
+                                     /*fanout=*/config_.f + 1},
+          store_, [this](NodeId to, wire::Bytes b) { send_(to, std::move(b)); }) {}
 
 BrachaRbc::Instance* BrachaRbc::instance_for(const InstanceKey& key) {
   auto it = instances_.find(key);
   if (it != instances_.end()) return &it->second;
   std::size_t& count = instances_per_origin_[key.origin];
-  if (count >= kMaxInstancesPerOrigin) return nullptr;  // Byzantine flood
+  if (count >= kMaxInstancesPerOrigin) {  // Byzantine flood
+    ++stats_.instance_cap;
+    return nullptr;
+  }
   ++count;
   return &instances_[key];
 }
@@ -22,12 +36,16 @@ void BrachaRbc::release_instance(Instance& inst) {
 }
 
 void BrachaRbc::emit(MsgType type, const InstanceKey& key,
-                     wire::BytesView payload) {
+                     wire::BytesView vote) {
   wire::Encoder enc;
   enc.u8(static_cast<std::uint8_t>(type));
   enc.u32(key.origin);
   enc.u64(key.tag);
-  enc.bytes(payload);
+  if (config_.digest_frames) {
+    enc.raw(vote);  // fixed 32-byte digest
+  } else {
+    enc.bytes(vote);  // legacy: the full payload
+  }
   for (NodeId to = 0; to < config_.n; ++to) {
     send_(to, enc.view());
   }
@@ -35,6 +53,8 @@ void BrachaRbc::emit(MsgType type, const InstanceKey& key,
 
 void BrachaRbc::broadcast(std::uint64_t tag, wire::BytesView payload) {
   // SEND carries no origin field: the authenticated channel provides it.
+  // It is the one frame type that ships the body even under digest
+  // dissemination — the origin is the only process that has it.
   wire::Encoder enc;
   enc.u8(static_cast<std::uint8_t>(MsgType::kSend));
   enc.u64(tag);
@@ -45,6 +65,7 @@ void BrachaRbc::broadcast(std::uint64_t tag, wire::BytesView payload) {
 }
 
 bool BrachaRbc::handle(NodeId from, std::uint8_t type, wire::Decoder& dec) {
+  if (fetcher_.handle(from, type, dec)) return true;
   if (!is_rbc_type(type)) return false;
   try {
     switch (static_cast<MsgType>(type)) {
@@ -60,27 +81,59 @@ bool BrachaRbc::handle(NodeId from, std::uint8_t type, wire::Decoder& dec) {
     }
   } catch (const wire::WireError&) {
     // Malformed frame: necessarily from a Byzantine sender; drop it.
+    ++stats_.malformed;
   }
   return true;
+}
+
+wire::Bytes BrachaRbc::decode_vote(wire::Decoder& dec) {
+  if (config_.digest_frames) {
+    const wire::BytesView raw = dec.raw(crypto::Sha256::kDigestSize);
+    return wire::Bytes(raw.begin(), raw.end());
+  }
+  return dec.bytes();
 }
 
 void BrachaRbc::on_send(NodeId from, wire::Decoder& dec) {
   const std::uint64_t tag = dec.u64();
   wire::Bytes payload = dec.bytes();
-  if (payload.size() > kMaxPayloadBytes) return;
+  if (payload.size() > kMaxPayloadBytes) {
+    ++stats_.oversized_payload;
+    return;
+  }
 
   const InstanceKey key{from, tag};
   Instance* inst = instance_for(key);
-  if (inst == nullptr || inst->echoed) return;
+
+  if (!config_.digest_frames) {
+    if (inst == nullptr || inst->echoed) return;
+    inst->echoed = true;
+    emit(MsgType::kEcho, key, payload);
+    return;
+  }
+
+  // Store the body only when this SEND advances an instance we admitted,
+  // or is one a pending delivery / parked frame is actively waiting for
+  // (quorum reached before SEND). Unconditional puts would hand a
+  // Byzantine sender unbounded, never-evicted memory: rejected frames —
+  // instance-cap overflow, duplicate SENDs nobody wants — must stay
+  // allocation-free beyond this stack frame.
+  const bool admits_echo = inst != nullptr && !inst->echoed;
+  const store::Digest d = store::body_digest(payload);
+  if (!admits_echo && !fetcher_.awaiting(d)) return;
+  store_->put_trusted(d, std::move(payload));
+  fetcher_.sweep();
+  if (!admits_echo) return;
   inst->echoed = true;
-  emit(MsgType::kEcho, key, payload);
+  wire::Bytes vote(d.begin(), d.end());
+  emit(MsgType::kEcho, key, vote);
 }
 
 void BrachaRbc::maybe_ready(const InstanceKey& key, Instance& inst,
-                            const wire::Bytes& payload) {
+                            const wire::Bytes& vote) {
   if (inst.readied) return;
   inst.readied = true;
-  emit(MsgType::kReady, key, payload);
+  emit(MsgType::kReady, key, vote);
 }
 
 void BrachaRbc::on_echo(NodeId from, wire::Decoder& dec) {
@@ -89,49 +142,113 @@ void BrachaRbc::on_echo(NodeId from, wire::Decoder& dec) {
   // Origins are always real broadcasters (ids < n). Without this check a
   // Byzantine echoer could fabricate instances under 2^32 distinct
   // origins, making the per-origin instance cap bound nothing. Checked
-  // before materializing the payload so rejection is allocation-free.
-  if (origin >= config_.n) return;
-  wire::Bytes payload = dec.bytes();
-  if (payload.size() > kMaxPayloadBytes) return;
+  // before materializing the vote so rejection is allocation-free.
+  if (origin >= config_.n) {
+    ++stats_.bad_origin;
+    return;
+  }
+  wire::Bytes vote = decode_vote(dec);
+  if (vote.size() > kMaxPayloadBytes) {
+    ++stats_.oversized_payload;
+    return;
+  }
 
   const InstanceKey key{origin, tag};
   Instance* inst = instance_for(key);
   if (inst == nullptr || inst->delivered) return;
   // One ECHO per peer per instance: a Byzantine echoing many payloads
   // contributes to at most one tally.
-  if (!inst->echoers.insert(from).second) return;
-  auto& supporters = inst->echo_counts[payload];
+  if (!inst->echoers.insert(from).second) {
+    ++stats_.duplicate_vote;
+    return;
+  }
+  auto& supporters = inst->echo_counts[vote];
   supporters.insert(from);
   if (supporters.size() >= echo_quorum()) {
-    maybe_ready(key, *inst, payload);
+    maybe_ready(key, *inst, vote);
   }
 }
 
 void BrachaRbc::on_ready(NodeId from, wire::Decoder& dec) {
   const NodeId origin = dec.u32();
   const std::uint64_t tag = dec.u64();
-  if (origin >= config_.n) return;  // see on_echo
-  wire::Bytes payload = dec.bytes();
-  if (payload.size() > kMaxPayloadBytes) return;
+  if (origin >= config_.n) {  // see on_echo
+    ++stats_.bad_origin;
+    return;
+  }
+  wire::Bytes vote = decode_vote(dec);
+  if (vote.size() > kMaxPayloadBytes) {
+    ++stats_.oversized_payload;
+    return;
+  }
 
   const InstanceKey key{origin, tag};
   Instance* inst = instance_for(key);
   if (inst == nullptr || inst->delivered) return;
-  if (!inst->readiers.insert(from).second) return;
-  auto& supporters = inst->ready_counts[payload];
+  if (!inst->readiers.insert(from).second) {
+    ++stats_.duplicate_vote;
+    return;
+  }
+  auto& supporters = inst->ready_counts[vote];
   supporters.insert(from);
 
   if (supporters.size() >= ready_amplify()) {
     // f+1 READYs contain at least one correct process: safe to amplify.
-    maybe_ready(key, *inst, payload);
+    maybe_ready(key, *inst, vote);
   }
   if (supporters.size() >= ready_deliver()) {
-    inst->delivered = true;
+    deliver(key, *inst, vote);
+  }
+}
+
+void BrachaRbc::deliver(const InstanceKey& key, Instance& inst,
+                        const wire::Bytes& vote) {
+  inst.delivered = true;
+
+  if (!config_.digest_frames) {
+    wire::Bytes payload = vote;
     // Integrity makes the tallies dead weight from here on (at most one
     // delivery per instance); free them and refund the payers.
-    release_instance(*inst);
-    deliver_(origin, tag, std::move(payload));
+    release_instance(inst);
+    ++stats_.delivered;
+    deliver_(key.origin, key.tag, std::move(payload));
+    return;
   }
+
+  store::Digest d;
+  std::copy(vote.begin(), vote.end(), d.begin());
+  if (auto body = store_->get(d)) {
+    release_instance(inst);
+    ++stats_.delivered;
+    deliver_(key.origin, key.tag, *body);
+    return;
+  }
+
+  // Delivery quorum reached before the body (SEND reordered behind the
+  // quorum, or a Byzantine origin excluded us). Any delivery quorum
+  // contains ≥ f+1 correct processes whose READY chains back to an echo
+  // quorum, so ≥ f+1 correct peers hold the body: pull it from the
+  // supporters of this digest, then every other peer.
+  ++stats_.deliveries_pending_fetch;
+  std::vector<NodeId> hints;
+  for (NodeId id : inst.echo_counts[vote]) hints.push_back(id);
+  for (NodeId id : inst.ready_counts[vote]) hints.push_back(id);
+  release_instance(inst);
+  const NodeId origin = key.origin;
+  const std::uint64_t tag = key.tag;
+  // Critical park: this delivery fires at most once per (origin, tag)
+  // instance — volume already bounded by the per-origin instance caps —
+  // and shedding it would break Totality with no recovery path (the
+  // instance is marked delivered above).
+  fetcher_.await(
+      {d}, hints,
+      [this, origin, tag, d] {
+        auto body = store_->get(d);
+        if (!body) return;
+        ++stats_.delivered;
+        deliver_(origin, tag, *body);
+      },
+      /*critical=*/true);
 }
 
 }  // namespace bla::rbc

@@ -14,19 +14,38 @@
 // Cost: 3 message delays, O(n²) messages per broadcast — exactly the
 // constants Theorem 3's 2f+5 bound charges for the disclosure phase.
 //
+// Digest dissemination (default): only SEND carries the payload body;
+// ECHO and READY carry its 32-byte SHA-256 digest, so the n² replication
+// factor applies to digests, not bodies — the dominant byte cost of a
+// broadcast drops from O(n²·|payload|) to O(n·|payload| + n²·32). Bodies
+// land in a content-addressed BodyStore (shared with the owning engine);
+// a process that reaches its delivery quorum without having seen SEND —
+// reordered links, or a Byzantine origin that excluded it — pulls the
+// body from the echoing peers via the store's fetch protocol and the
+// delivery fires once the body arrives. Honest broadcasts need no fetch
+// in the common case (SEND precedes the quorum). Tallying digests
+// instead of payload variants also shrinks undelivered-instance
+// retention from O(peers·|payload|) to O(peers·32) per instance.
+// `Config::digest_frames = false` restores full-payload ECHO/READY (the
+// bench baseline).
+//
 // Multi-instance: instances are keyed by (origin, tag). Correct callers
 // use distinct tags per broadcast (WTS uses tag 0; GWTS derives tags from
 // round numbers and ack identities). The component is runtime-agnostic:
 // it emits via an injected point-to-point send function and is fed by the
-// owning process's message dispatch.
+// owning process's message dispatch, which must route the fetch protocol
+// frames (store::MsgType) through handle() as well.
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <set>
 
 #include "lattice/value.hpp"
 #include "net/process.hpp"
+#include "store/body_store.hpp"
+#include "store/fetch.hpp"
 #include "wire/wire.hpp"
 
 namespace bla::rbc {
@@ -34,7 +53,9 @@ namespace bla::rbc {
 using net::NodeId;
 
 /// Top-level message-type bytes reserved for RBC frames. Owning processes
-/// dispatch on the first byte of each message; these three belong to us.
+/// dispatch on the first byte of each message; these three belong to us
+/// (and handle() also consumes the body-pull types 4..5 on behalf of the
+/// embedded fetcher).
 enum class MsgType : std::uint8_t { kSend = 1, kEcho = 2, kReady = 3 };
 
 [[nodiscard]] constexpr bool is_rbc_type(std::uint8_t t) {
@@ -59,8 +80,10 @@ enum class MsgType : std::uint8_t { kSend = 1, kEcho = 2, kReady = 3 };
 /// broadcasts. All current runs are max_rounds-bounded and sit far
 /// below the cap; lifting it for truly unbounded runs is the epoch-GC
 /// item in ROADMAP. What dominates retention is *undelivered*
-/// instances: at most one stored payload variant per echoing peer per
-/// instance, each ≤ the payload cap. We deliberately do NOT meter those bytes against any shared
+/// instances: with digest frames, at most one 32-byte digest tally per
+/// echoing peer per instance (full payload variants only in the legacy
+/// mode — the stored *bodies* live in the shared BodyStore, one copy
+/// per content). We deliberately do NOT meter those against any shared
 /// budget — every such budget (per-origin or per-sender) turns out to
 /// be exhaustible by a Byzantine peer in a way that censors an honest
 /// broadcaster, and losing one honest echoer breaks quorum liveness
@@ -75,6 +98,26 @@ public:
     NodeId self = 0;
     std::size_t n = 0;
     std::size_t f = 0;
+    /// ECHO/READY carry payload digests instead of bodies (see file
+    /// comment). false = legacy full-payload frames.
+    bool digest_frames = true;
+    /// Content-addressed store backing digest dissemination; shared with
+    /// the owning engine so value-level references resolve against the
+    /// same bodies. Created internally when null.
+    std::shared_ptr<store::BodyStore> store;
+  };
+
+  /// Reject/drop counters, so silent-stall failure modes (e.g. frames
+  /// exceeding kMaxPayloadBytes once cumulative state outgrows the cap)
+  /// are diagnosable without logs.
+  struct Stats {
+    std::uint64_t oversized_payload = 0;  // payload > kMaxPayloadBytes
+    std::uint64_t malformed = 0;          // WireError while decoding
+    std::uint64_t bad_origin = 0;         // claimed origin ≥ n
+    std::uint64_t instance_cap = 0;       // per-origin instance cap hit
+    std::uint64_t duplicate_vote = 0;     // 2nd ECHO/READY from one peer
+    std::uint64_t delivered = 0;          // deliveries fired
+    std::uint64_t deliveries_pending_fetch = 0;  // quorum before body
   };
 
   /// Point-to-point transmit provided by the owning process.
@@ -90,9 +133,10 @@ public:
   void broadcast(std::uint64_t tag, wire::BytesView payload);
 
   /// Feeds one incoming frame whose leading type byte was `type`.
-  /// Returns true if the frame was an RBC frame (consumed), false if the
-  /// caller should dispatch it elsewhere. Malformed RBC frames are
-  /// silently dropped (they can only come from Byzantine senders).
+  /// Returns true if the frame was an RBC or body-pull frame (consumed),
+  /// false if the caller should dispatch it elsewhere. Malformed RBC
+  /// frames are silently dropped (they can only come from Byzantine
+  /// senders) and counted in stats().
   bool handle(NodeId from, std::uint8_t type, wire::Decoder& dec);
 
   /// Quorum sizes (exposed for tests).
@@ -102,6 +146,18 @@ public:
   [[nodiscard]] std::size_t ready_amplify() const { return config_.f + 1; }
   [[nodiscard]] std::size_t ready_deliver() const {
     return 2 * config_.f + 1;
+  }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const std::shared_ptr<store::BodyStore>& body_store() const {
+    return store_;
+  }
+  /// The embedded pull-protocol endpoint. The owning engine may park its
+  /// own value-level replays here — one fetcher per process serves both
+  /// RBC payload bodies and lattice-value bodies.
+  [[nodiscard]] store::BodyFetcher& fetcher() { return fetcher_; }
+  [[nodiscard]] const store::BodyFetcher& fetcher() const {
+    return fetcher_;
   }
 
 private:
@@ -115,7 +171,9 @@ private:
     bool echoed = false;
     bool readied = false;
     bool delivered = false;
-    // First ECHO/READY per peer wins; payload-keyed tallies below.
+    // First ECHO/READY per peer wins. Tallies are keyed by the payload
+    // *digest* (as bytes) under digest frames, by the payload itself in
+    // legacy mode.
     std::set<NodeId> echoers;
     std::set<NodeId> readiers;
     std::map<wire::Bytes, std::set<NodeId>> echo_counts;
@@ -127,18 +185,25 @@ private:
   /// forbids a second delivery). The per-origin cap slot is *not*
   /// refunded — see the retention note above kMaxPayloadBytes.
   void release_instance(Instance& inst);
-  void emit(MsgType type, const InstanceKey& key, wire::BytesView payload);
+  void emit(MsgType type, const InstanceKey& key, wire::BytesView vote);
   void on_send(NodeId from, wire::Decoder& dec);
   void on_echo(NodeId from, wire::Decoder& dec);
   void on_ready(NodeId from, wire::Decoder& dec);
   void maybe_ready(const InstanceKey& key, Instance& inst,
-                   const wire::Bytes& payload);
+                   const wire::Bytes& vote);
+  /// Decodes the ECHO/READY vote field under the active mode.
+  wire::Bytes decode_vote(wire::Decoder& dec);
+  void deliver(const InstanceKey& key, Instance& inst,
+               const wire::Bytes& vote);
 
   Config config_;
   SendFn send_;
   DeliverFn deliver_;
+  std::shared_ptr<store::BodyStore> store_;
+  store::BodyFetcher fetcher_;
   std::map<InstanceKey, Instance> instances_;
   std::map<NodeId, std::size_t> instances_per_origin_;
+  Stats stats_;
 };
 
 }  // namespace bla::rbc

@@ -9,14 +9,18 @@ constexpr std::size_t kMaxPendingConfs = 1 << 14;
 }
 
 RsmReplica::RsmReplica(ReplicaConfig config)
-    : config_(config),
+    : config_(std::move(config)),
+      store_(std::make_shared<store::BodyStore>()),
       engine_(core::make_engine(
-          config.engine,
-          core::EngineConfig{config.self, config.n, config.f,
-                             config.max_rounds},
-          config.signer,
+          config_.engine,
+          core::EngineConfig{config_.self, config_.n, config_.f,
+                             config_.max_rounds, config_.digest_refs, store_},
+          config_.signer,
           [this](const core::Decision& d) { on_decide(d); })) {
-  if (config_.signer) verifier_.emplace(config_.signer);
+  // The verifier shares the replica-wide store: its verified-digest
+  // cache and the dissemination layer's bodies live together, so each
+  // batch body is stored and signature-checked once per replica.
+  if (config_.signer) verifier_.emplace(config_.signer, store_);
 }
 
 void RsmReplica::on_start(net::IContext& ctx) {
@@ -117,15 +121,30 @@ void RsmReplica::on_new_batch(NodeId from, wire::Decoder& dec,
   // let a Byzantine client mint arbitrarily many duplicate lattice
   // values from a single signature. Canonicalizing collapses every
   // spelling to one value (and one verified-digest cache entry).
-  engine_->submit(batch::batch_value(b));
+  Value value = batch::batch_value(b);
+  // Register the body immediately: peers may pull it by reference the
+  // moment our disclosure/init mentions it.
+  store_->put(value);
+  engine_->submit(std::move(value));
 }
 
 void RsmReplica::on_decide(const core::Decision& decision) {
   // Alg. 5 line 5: push <decide, Accepted_set, replica> to every client.
-  // Clients occupy every node id ≥ n.
+  // Clients occupy every node id ≥ n. Decided state is cumulative, so
+  // the digest form keeps this O(32·|set|) per notification instead of
+  // re-shipping every command body on every decision.
   wire::Encoder enc;
-  enc.u8(static_cast<std::uint8_t>(core::MsgType::kRsmDecide));
-  lattice::encode_value_set(enc, decision.set);
+  if (config_.digest_decide_notifications) {
+    enc.u8(static_cast<std::uint8_t>(core::MsgType::kRsmDecideDigest));
+    enc.uvarint(decision.set.size());
+    for (const Value& v : decision.set) {
+      const auto d = crypto::Sha256::hash(std::span(v.data(), v.size()));
+      enc.raw(std::span(d.data(), d.size()));
+    }
+  } else {
+    enc.u8(static_cast<std::uint8_t>(core::MsgType::kRsmDecide));
+    lattice::encode_value_set(enc, decision.set);
+  }
   const std::size_t total = ctx_->node_count();
   for (NodeId client = static_cast<NodeId>(config_.n); client < total;
        ++client) {

@@ -36,6 +36,13 @@ struct ReplicaConfig {
   /// batched submission path (verifying client batch signatures). A
   /// GWTS replica without a signer still serves the per-command path.
   std::shared_ptr<const crypto::ISigner> signer;
+  /// Digest-only dissemination in the backing engine (see src/store/).
+  bool digest_refs = true;
+  /// Push decide notifications as element digests (kRsmDecideDigest)
+  /// instead of full value sets. Only for deployments whose clients all
+  /// match digests (BatchClient does; the plain RsmClient needs values),
+  /// hence opt-in rather than tied to digest_refs.
+  bool digest_decide_notifications = false;
 };
 
 class RsmReplica : public net::IProcess {
@@ -65,6 +72,9 @@ public:
   [[nodiscard]] const batch::BatchVerifier* batch_verifier() const {
     return verifier_ ? &*verifier_ : nullptr;
   }
+  /// The replica-wide content-addressed body store (shared by the
+  /// engine's dissemination layer and the batch verifier cache).
+  [[nodiscard]] const store::BodyStore& body_store() const { return *store_; }
 
 private:
   struct PendingConf {
@@ -78,6 +88,7 @@ private:
   void drain_pending_confirmations();
 
   ReplicaConfig config_;
+  std::shared_ptr<store::BodyStore> store_;
   std::unique_ptr<core::IAgreementEngine> engine_;
   std::optional<batch::BatchVerifier> verifier_;  // engaged iff signer set
   net::IContext* ctx_ = nullptr;

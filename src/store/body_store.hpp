@@ -1,0 +1,122 @@
+#pragma once
+// Content-addressed body store — the shared backing for digest-only
+// dissemination (ISSUE 5 tentpole).
+//
+// PR 1 made each lattice value a SignedCommandBatch of up to 64KB, so the
+// agreement layers' habit of re-shipping full values — Bracha replicating
+// whole frames n² times per ECHO/READY round, GWTS rebroadcasting its
+// *cumulative* accepted set on every ack, GSbS safe-acks echoing every
+// received signed batch — multiplied a per-command byte cost that digests
+// make constant. Every replica stores each body exactly once, keyed by
+// SHA-256 of its bytes; protocol layers ship 32-byte digests and pull
+// missing bodies on demand (store/fetch.hpp).
+//
+// The store is shared across layers of one process: Bracha parks whole
+// RBC payload bodies here (ECHO/READY carry payload digests), the engines
+// park lattice-value bodies (ack/safe-ack/certificate references), and
+// BatchVerifier keeps its verified-digest cache here so a body is
+// signature-checked exactly once per replica no matter which layer saw it
+// first. A mutex makes it safe to share across the replica's handler
+// thread and any observer threads (the thread-network bench polls stats).
+//
+// GC: bodies are never evicted. A long-lived deployment needs the same
+// checkpointing/GC story as the engines' decided-state (see ROADMAP) —
+// once a stable prefix is snapshotted, its bodies can be dropped and the
+// store re-seeded from the snapshot on fetch misses.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+
+#include "crypto/sha256.hpp"
+#include "wire/wire.hpp"
+
+namespace bla::store {
+
+using Digest = crypto::Sha256::Digest;
+
+[[nodiscard]] inline Digest body_digest(wire::BytesView body) {
+  return crypto::Sha256::hash(body);
+}
+
+class BodyStore {
+public:
+  /// Stores `body` under its content digest (idempotent). Returns the
+  /// digest. Oversized bodies are the *caller's* problem: each protocol
+  /// layer enforces its own cap before putting (lattice::kMaxValueBytes
+  /// for values, rbc::kMaxPayloadBytes for RBC payloads).
+  Digest put(wire::BytesView body) {
+    const Digest d = body_digest(body);
+    std::lock_guard lock(mutex_);
+    auto [it, inserted] = bodies_.try_emplace(d, nullptr);
+    if (inserted) {
+      it->second = std::make_shared<const wire::Bytes>(body.begin(),
+                                                       body.end());
+      total_bytes_ += it->second->size();
+    }
+    return d;
+  }
+
+  /// Stores `body` under `digest` without rehashing — only for callers
+  /// that just computed or verified the digest themselves (the fetcher
+  /// checks every pulled body against its requested digest).
+  void put_trusted(const Digest& digest, wire::Bytes body) {
+    std::lock_guard lock(mutex_);
+    auto [it, inserted] = bodies_.try_emplace(digest, nullptr);
+    if (inserted) {
+      it->second = std::make_shared<const wire::Bytes>(std::move(body));
+      total_bytes_ += it->second->size();
+    }
+  }
+
+  /// Shared handle, not a copy: bodies run to 64KB (values) / 16MB (RBC
+  /// payloads) and the hot paths — resolving a cumulative ack's k
+  /// references, serving fetches — only read.
+  [[nodiscard]] std::shared_ptr<const wire::Bytes> get(const Digest& d) const {
+    std::lock_guard lock(mutex_);
+    auto it = bodies_.find(d);
+    if (it == bodies_.end()) return nullptr;
+    return it->second;
+  }
+
+  [[nodiscard]] bool contains(const Digest& d) const {
+    std::lock_guard lock(mutex_);
+    return bodies_.contains(d);
+  }
+
+  [[nodiscard]] std::size_t body_count() const {
+    std::lock_guard lock(mutex_);
+    return bodies_.size();
+  }
+  [[nodiscard]] std::uint64_t total_bytes() const {
+    std::lock_guard lock(mutex_);
+    return total_bytes_;
+  }
+
+  // -- verified-digest cache (merged from BatchVerifier) -------------------
+  // Keys are whatever the verifying layer uses (BatchVerifier hashes
+  // batch digest + signature bytes); the store only provides the bounded
+  // set. Bounded: cleared on overflow — re-verification is correct, just
+  // slower — so Byzantine floods cannot grow it without bound.
+
+  [[nodiscard]] bool verified_contains(const Digest& key) const {
+    std::lock_guard lock(mutex_);
+    return verified_.contains(key);
+  }
+
+  void verified_insert(const Digest& key, std::size_t max_entries) {
+    std::lock_guard lock(mutex_);
+    if (verified_.size() >= max_entries) verified_.clear();
+    verified_.insert(key);
+  }
+
+private:
+  mutable std::mutex mutex_;
+  std::map<Digest, std::shared_ptr<const wire::Bytes>> bodies_;
+  std::set<Digest> verified_;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace bla::store

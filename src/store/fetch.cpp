@@ -1,0 +1,243 @@
+#include "store/fetch.hpp"
+
+#include <algorithm>
+
+namespace bla::store {
+
+namespace {
+// Byzantine-facing caps: a fetch frame names at most this many digests
+// (honest fetchers send exactly one — the slack only covers future
+// batching), and the requester tracks at most this many distinct
+// fetches / parked thunks before shedding load.
+constexpr std::size_t kMaxDigestsPerFetch = 8;
+constexpr std::size_t kMaxFetchStates = std::size_t{1} << 16;
+constexpr std::size_t kMaxPending = std::size_t{1} << 12;
+}  // namespace
+
+BodyFetcher::BodyFetcher(Config config, std::shared_ptr<BodyStore> store,
+                         SendFn send)
+    : config_(config), store_(std::move(store)), send_(std::move(send)) {}
+
+void BodyFetcher::add_candidates(FetchState& state,
+                                 const std::vector<NodeId>& hints) {
+  auto push = [&](NodeId id) {
+    if (id == config_.self || id >= config_.n) return;
+    if (std::find(state.candidates.begin(), state.candidates.end(), id) !=
+        state.candidates.end()) {
+      return;
+    }
+    state.candidates.push_back(id);
+  };
+  for (NodeId id : hints) push(id);
+  for (NodeId id = 0; id < config_.n; ++id) push(id);
+}
+
+/// Tops the digest's outstanding requests up to the fan-out, walking the
+/// candidate rotation. With fanout = f+1 at most f silent peers can
+/// absorb requests while one stays with a responsive peer, whose
+/// explicit (found / not-found / garbage) reply keeps rotation moving —
+/// the runtime has no timers to recover a wedged single request.
+void BodyFetcher::pump(const Digest& digest, FetchState& state) {
+  const std::size_t fanout = std::max<std::size_t>(1, config_.fanout);
+  while (state.outstanding.size() < fanout &&
+         state.next < state.candidates.size()) {
+    const NodeId to = state.candidates[state.next];
+    state.next += 1;
+    if (!state.outstanding.insert(to).second) continue;
+    wire::Encoder enc;
+    enc.u8(static_cast<std::uint8_t>(MsgType::kFetchBody));
+    enc.uvarint(1);
+    enc.raw(std::span(digest.data(), digest.size()));
+    ++stats_.fetches_sent;
+    send_(to, enc.take());
+  }
+  if (state.outstanding.empty()) {
+    // Every candidate failed. Go dormant; a future reference to the
+    // same digest re-arms the rotation (await -> arm).
+    ++stats_.exhausted;
+  }
+}
+
+bool BodyFetcher::arm(const Digest& digest,
+                      const std::vector<NodeId>& hints, bool critical) {
+  auto it = fetches_.find(digest);
+  if (it == fetches_.end()) {
+    if (!critical && fetches_.size() >= kMaxFetchStates) {
+      return false;  // Byzantine flood
+    }
+    it = fetches_.try_emplace(digest).first;
+  }
+  FetchState& state = it->second;
+  add_candidates(state, hints);
+  if (!state.outstanding.empty()) {
+    ++stats_.dedup_hits;  // single-flight: join the outstanding fetch
+    return true;
+  }
+  // Dormant (exhausted) fetch re-armed by a fresh reference: restart the
+  // rotation from the top — a peer that answered not-found earlier may
+  // well hold the body by now. Each reference buys at most one full
+  // rotation, so termination is preserved.
+  if (state.next >= state.candidates.size()) state.next = 0;
+  pump(digest, state);
+  return true;
+}
+
+void BodyFetcher::sweep() {
+  std::vector<std::function<void()>> ready;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    for (auto dit = it->missing.begin(); dit != it->missing.end();) {
+      if (store_->contains(*dit)) {
+        dit = it->missing.erase(dit);
+      } else {
+        ++dit;
+      }
+    }
+    if (it->missing.empty()) {
+      ready.push_back(std::move(it->replay));
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto& replay : ready) replay();
+}
+
+void BodyFetcher::await(const std::vector<Digest>& missing,
+                        const std::vector<NodeId>& hints,
+                        std::function<void()> replay, bool critical) {
+  sweep();
+  Pending pending;
+  pending.replay = std::move(replay);
+  for (const Digest& d : missing) {
+    if (!store_->contains(d)) pending.missing.insert(d);
+  }
+  if (pending.missing.empty()) {
+    pending.replay();  // resolved in the meantime (or spurious park)
+    return;
+  }
+  if (!critical && pending_.size() >= kMaxPending) {
+    // Queue full (a Byzantine reference flood can park unsatisfiable
+    // thunks that never resolve): evict the *oldest* entry rather than
+    // refusing the newest, so honest frames arriving after a flood
+    // still get their slot while the junk ages out.
+    ++stats_.parked_dropped;
+    pending_.pop_front();
+  }
+  for (const Digest& d : pending.missing) {
+    if (!arm(d, hints, critical)) {
+      // Fetch-state cap hit: nothing will ever wake this thunk, so
+      // shed it (counted) instead of parking it to rot.
+      ++stats_.parked_dropped;
+      return;
+    }
+  }
+  ++stats_.parked;
+  pending_.push_back(std::move(pending));
+}
+
+bool BodyFetcher::handle(NodeId from, std::uint8_t type, wire::Decoder& dec) {
+  if (!is_store_type(type)) return false;
+  sweep();
+  try {
+    if (type == static_cast<std::uint8_t>(MsgType::kFetchBody)) {
+      on_fetch(from, dec);
+    } else {
+      on_reply(from, dec);
+    }
+  } catch (const wire::WireError&) {
+    // Malformed: Byzantine sender; drop.
+  }
+  return true;
+}
+
+void BodyFetcher::on_fetch(NodeId from, wire::Decoder& dec) {
+  const std::uint64_t count = dec.uvarint();
+  if (count == 0 || count > kMaxDigestsPerFetch) {
+    throw wire::WireError("oversized fetch");
+  }
+  // Amplification bound: at most ONE body leaves per fetch frame (honest
+  // fetchers only ask for one anyway — pump() encodes single-digest
+  // frames). Extra found digests are answered not-found, which an honest
+  // batching requester would simply retry; a Byzantine one gains no
+  // multiplier. One reply frame per digest keeps each frame under the
+  // body cap.
+  bool body_served = false;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const wire::BytesView raw = dec.raw(crypto::Sha256::kDigestSize);
+    Digest d;
+    std::copy(raw.begin(), raw.end(), d.begin());
+    wire::Encoder enc;
+    enc.u8(static_cast<std::uint8_t>(MsgType::kBodyReply));
+    enc.uvarint(1);
+    enc.raw(raw);
+    const std::shared_ptr<const wire::Bytes> body =
+        body_served ? nullptr : store_->get(d);
+    if (body) {
+      enc.u8(1);
+      enc.bytes(*body);
+      body_served = true;
+    } else {
+      enc.u8(0);
+    }
+    ++stats_.replies_served;
+    send_(from, enc.take());
+  }
+}
+
+void BodyFetcher::on_reply(NodeId from, wire::Decoder& dec) {
+  const std::uint64_t count = dec.uvarint();
+  if (count == 0 || count > kMaxDigestsPerFetch) {
+    throw wire::WireError("oversized reply");
+  }
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const wire::BytesView raw = dec.raw(crypto::Sha256::kDigestSize);
+    Digest d;
+    std::copy(raw.begin(), raw.end(), d.begin());
+    const bool found = dec.u8() != 0;
+    wire::Bytes body;
+    if (found) body = dec.bytes();
+
+    auto it = fetches_.find(d);
+    // Only replies we actually solicited count: accepting unsolicited
+    // bodies would let any peer stuff our store.
+    if (it == fetches_.end() || it->second.outstanding.erase(from) == 0) {
+      continue;
+    }
+    FetchState& state = it->second;
+    if (found && body.size() <= config_.max_body_bytes &&
+        body_digest(body) == d) {
+      store_->put_trusted(d, std::move(body));
+      ++stats_.bodies_fetched;
+      fetches_.erase(it);
+      resolve(d);
+      continue;
+    }
+    // Provider failed us: not-found, oversized, or a body that does not
+    // hash to the digest. Rotate to the next candidate.
+    if (found) {
+      ++stats_.garbage_replies;
+    } else {
+      ++stats_.not_found_replies;
+    }
+    if (state.next < state.candidates.size()) ++stats_.rotations;
+    pump(d, state);
+  }
+}
+
+void BodyFetcher::resolve(const Digest& digest) {
+  // Collect ready thunks first, run them after the queue is consistent:
+  // a replay may reenter await() and push new pending entries.
+  std::vector<std::function<void()>> ready;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    it->missing.erase(digest);
+    if (it->missing.empty()) {
+      ready.push_back(std::move(it->replay));
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto& replay : ready) replay();
+}
+
+}  // namespace bla::store

@@ -1,0 +1,87 @@
+#include "store/ref.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bla::store {
+
+void encode_value_ref(wire::Encoder& enc, const lattice::Value& v,
+                      BodyStore* store, bool refs) {
+  if (store != nullptr && v.size() >= kInlineThresholdBytes) {
+    // Even inline spellings register the body: the sender of an inline
+    // value (an INIT / disclosure — first contact) is exactly who later
+    // references it and must serve the pulls those references provoke.
+    const Digest d = store->put(v);
+    if (refs) {
+      wire::Bytes ref(1 + d.size());
+      ref[0] = kRefMagic;
+      std::copy(d.begin(), d.end(), ref.begin() + 1);
+      enc.bytes(ref);
+      return;
+    }
+  }
+  assert(!refs || store != nullptr);
+  if (!v.empty() && (v[0] == kRefMagic || v[0] == kEscapeMagic)) {
+    wire::Bytes escaped;
+    escaped.reserve(v.size() + 1);
+    escaped.push_back(kEscapeMagic);
+    escaped.insert(escaped.end(), v.begin(), v.end());
+    enc.bytes(escaped);
+    return;
+  }
+  enc.bytes(v);
+}
+
+void encode_value_set_ref(wire::Encoder& enc, const lattice::ValueSet& s,
+                          BodyStore* store, bool refs) {
+  enc.uvarint(s.size());
+  for (const lattice::Value& v : s) encode_value_ref(enc, v, store, refs);
+}
+
+lattice::Value RefResolver::value(wire::Decoder& dec) {
+  wire::Bytes raw = dec.bytes();
+  if (raw.size() == 1 + crypto::Sha256::kDigestSize && raw[0] == kRefMagic) {
+    Digest d;
+    std::copy(raw.begin() + 1, raw.end(), d.begin());
+    if (store_ != nullptr) {
+      if (auto body = store_->get(d)) {
+        if (body->size() > lattice::kMaxValueBytes) {
+          // A reference into a non-value body (e.g. a whole RBC payload a
+          // Byzantine peer aliased): not an element of the lattice.
+          throw wire::WireError("ref resolves to oversized value");
+        }
+        return *body;
+      }
+    }
+    missing_.push_back(d);
+    return {};  // placeholder; caller must check complete()
+  }
+  if (!raw.empty() && raw[0] == kRefMagic) {
+    // Unescaped ref magic with the wrong length: no honest encoder
+    // produces this spelling.
+    throw wire::WireError("malformed value reference");
+  }
+  if (!raw.empty() && raw[0] == kEscapeMagic) {
+    raw.erase(raw.begin());
+  }
+  if (!lattice::valid_value(raw)) throw wire::WireError("oversized value");
+  // Absorb large inline bodies: a peer that inlined this value may
+  // reference it from its next (cumulative) message, and our own refs to
+  // it must be servable.
+  if (store_ != nullptr && raw.size() >= kInlineThresholdBytes) {
+    store_->put(raw);
+  }
+  return raw;
+}
+
+lattice::ValueSet RefResolver::value_set(wire::Decoder& dec) {
+  const std::uint64_t count = dec.uvarint();
+  if (count > lattice::kMaxSetElements) {
+    throw wire::WireError("oversized value set");
+  }
+  lattice::ValueSet out;
+  for (std::uint64_t i = 0; i < count; ++i) out.insert(value(dec));
+  return out;
+}
+
+}  // namespace bla::store

@@ -10,8 +10,10 @@ BatchRsmScenario::BatchRsmScenario(BatchRsmScenarioOptions options)
     : options_(std::move(options)) {
   // One keypair per replica *and* per client: replicas sign engine
   // traffic (GSbS), clients sign their command batches.
-  signers_ =
-      crypto::make_hmac_signer_set(options_.n + options_.clients, options_.seed);
+  const std::size_t key_count = options_.n + options_.clients;
+  signers_ = options_.use_ed25519
+                 ? crypto::make_ed25519_signer_set(key_count, options_.seed)
+                 : crypto::make_hmac_signer_set(key_count, options_.seed);
 
   net::SimNetwork::Config cfg;
   cfg.seed = options_.seed;
@@ -36,6 +38,8 @@ BatchRsmScenario::BatchRsmScenario(BatchRsmScenarioOptions options)
     rc.max_rounds = options_.max_rounds;
     rc.engine = options_.engine;
     rc.signer = signers_->signer_for(id);
+    rc.digest_refs = options_.digest_refs;
+    rc.digest_decide_notifications = options_.digest_refs;
     auto replica = std::make_unique<rsm::RsmReplica>(rc);
     replicas_.push_back(replica.get());
     net_->add_process(std::move(replica));

@@ -24,6 +24,13 @@ struct BatchRsmScenarioOptions : ScenarioOptions {
   /// Pipeline window K (batches in flight per client).
   std::size_t max_in_flight = 4;
   std::uint64_t max_rounds = 200;
+  /// Real Ed25519 signatures instead of the HMAC simulation scheme (the
+  /// signature-dividend measurement of BENCH_batch_ed25519.json).
+  bool use_ed25519 = false;
+  /// Digest-only dissemination (replica engines + digest decide
+  /// notifications — every client here is a BatchClient, which matches
+  /// digests). false = full-frame baseline for the bytes/command bench.
+  bool digest_refs = true;
 };
 
 class BatchRsmScenario {
