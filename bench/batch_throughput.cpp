@@ -18,7 +18,11 @@
 // CLI: --signer=hmac|ed25519 selects the signature scheme (default hmac;
 // ed25519 measures the signature dividend under real PKI costs — see
 // BENCH_batch_ed25519.json), --json=PATH writes the simulator panel as
-// JSON.
+// JSON, --obs-json=PATH dumps the observability registry of the
+// (GWTS, B=64) run — per-stage command-lifecycle latency histograms
+// (seal → RBC deliver → decide → execute → confirm, in simulated time),
+// per-node protocol counters, and the health report — as
+// BENCH_obs_latency.json.
 
 #include <chrono>
 #include <cstring>
@@ -27,6 +31,7 @@
 
 #include "bench_util.hpp"
 #include "net/thread_network.hpp"
+#include "obs/registry.hpp"
 #include "testutil/batch_scenario.hpp"
 
 using namespace bla;
@@ -49,7 +54,8 @@ double elapsed_seconds(
 }
 
 Result run_sim(core::EngineKind engine, std::size_t batch_size,
-               std::size_t total_commands, bool use_ed25519) {
+               std::size_t total_commands, bool use_ed25519,
+               std::shared_ptr<obs::Registry> registry = nullptr) {
   testutil::BatchRsmScenarioOptions options;
   options.n = 4;
   options.f = 1;
@@ -59,6 +65,7 @@ Result run_sim(core::EngineKind engine, std::size_t batch_size,
   options.batch_size = batch_size;
   options.max_in_flight = 4;
   options.use_ed25519 = use_ed25519;
+  options.registry = std::move(registry);
   // Enough rounds for the B=1 worst case (one batch per slot, K per
   // round) plus pipeline warm-up slack.
   options.max_rounds = total_commands + 64;
@@ -156,10 +163,13 @@ Result run_threads(core::EngineKind engine, std::size_t batch_size,
 int main(int argc, char** argv) {
   bool use_ed25519 = false;
   const char* json_path = nullptr;
+  const char* obs_json_path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--signer=ed25519") == 0) use_ed25519 = true;
     else if (std::strcmp(argv[i], "--signer=hmac") == 0) use_ed25519 = false;
     else if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+    else if (std::strncmp(argv[i], "--obs-json=", 11) == 0)
+      obs_json_path = argv[i] + 11;
   }
 
   bench::header("B1 — batched proposal pipeline: commands/sec vs batch size",
@@ -186,9 +196,19 @@ int main(int argc, char** argv) {
   EngineRow engines[] = {{"GWTS", core::EngineKind::kGwts},
                          {"GSbS", core::EngineKind::kGsbs}};
 
+  // The (GWTS, B=64) run doubles as the observability showcase: one
+  // registry shared by the simulator, every replica, and the client
+  // records the full seal → RBC deliver → decide → execute → confirm
+  // latency pipeline in simulated time.
+  std::shared_ptr<obs::Registry> obs_registry;
+
   for (EngineRow& e : engines) {
     for (const std::size_t b : {1u, 8u, 64u, 256u}) {
-      const Result r = run_sim(e.kind, b, kTotal, use_ed25519);
+      std::shared_ptr<obs::Registry> run_registry;
+      if (e.kind == core::EngineKind::kGwts && b == 64) {
+        run_registry = obs_registry = std::make_shared<obs::Registry>();
+      }
+      const Result r = run_sim(e.kind, b, kTotal, use_ed25519, run_registry);
       all_ok = all_ok && r.live && r.state_ok;
       if (b == 1) e.batch1 = r.cmds_per_sec;
       if (b == 64) e.batch64 = r.cmds_per_sec;
@@ -226,6 +246,35 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (obs_registry) {
+    bench::row("%s", "");
+    bench::row("command-lifecycle latencies, GWTS B=64 (simulated seconds)");
+    bench::row("%-30s %8s %10s %10s %10s", "stage transition", "count",
+               "p50", "p90", "p99");
+    const char* stages[] = {
+        "latency/seal_to_rbc_deliver", "latency/rbc_deliver_to_decide",
+        "latency/decide_to_execute", "latency/execute_to_confirm"};
+    for (const char* name : stages) {
+      const obs::HistogramSnapshot snap =
+          obs_registry->histogram(name).snapshot();
+      bench::row("%-30s %8llu %10.4f %10.4f %10.4f", name,
+                 static_cast<unsigned long long>(snap.count),
+                 snap.quantile(0.50), snap.quantile(0.90),
+                 snap.quantile(0.99));
+      all_ok = all_ok && snap.count > 0;
+    }
+    const obs::HealthReport health = obs_registry->health();
+    bench::row("health: %s (%zu issue(s))", health.ok() ? "ok" : "DEGRADED",
+               health.issues.size());
+    if (obs_json_path != nullptr) {
+      if (std::FILE* out = std::fopen(obs_json_path, "w")) {
+        std::fputs(obs_registry->to_json().c_str(), out);
+        std::fclose(out);
+        bench::row("obs registry json written to %s", obs_json_path);
+      }
+    }
+  }
+
   bench::row("%s", "");
   bench::row("thread-network panel (real OS concurrency, informational)");
   bench::row("%-6s %6s %6s | %12s %6s", "engine", "B", "cmds", "cmds/sec",
@@ -243,7 +292,8 @@ int main(int argc, char** argv) {
   }
 
   bench::verdict(all_ok,
-                 "workload lands durably at every batch size and batch=64 "
-                 "beats batch=1 on commands/sec for both engines");
+                 "workload lands durably at every batch size, batch=64 "
+                 "beats batch=1 on commands/sec for both engines, and the "
+                 "lifecycle histograms captured every stage");
   return all_ok ? 0 : 1;
 }

@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace bla::bench {
 
 inline void header(const std::string& id, const std::string& claim) {
@@ -35,15 +37,25 @@ inline void verdict(bool ok, const std::string& what) {
 
 struct Stats {
   double min = 0, max = 0, mean = 0;
+  double p50 = 0, p90 = 0, p99 = 0;
 };
 
+// Quantiles use obs::quantile_from_sorted — the same rank rule
+// (rank = q·(count−1), linear interpolation) the registry's histogram
+// snapshots apply, so a bench table and a BENCH_*.json registry dump
+// report comparable percentiles.
 inline Stats stats(const std::vector<double>& xs) {
   Stats s;
   if (xs.empty()) return s;
-  s.min = *std::min_element(xs.begin(), xs.end());
-  s.max = *std::max_element(xs.begin(), xs.end());
-  s.mean = std::accumulate(xs.begin(), xs.end(), 0.0) /
-           static_cast<double>(xs.size());
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.mean = std::accumulate(sorted.begin(), sorted.end(), 0.0) /
+           static_cast<double>(sorted.size());
+  s.p50 = obs::quantile_from_sorted(sorted, 0.50);
+  s.p90 = obs::quantile_from_sorted(sorted, 0.90);
+  s.p99 = obs::quantile_from_sorted(sorted, 0.99);
   return s;
 }
 

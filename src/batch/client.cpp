@@ -18,12 +18,19 @@ BatchClient::BatchClient(Config config,
                          std::shared_ptr<const crypto::ISigner> signer,
                          std::vector<lattice::Value> commands)
     : config_(config),
+      registry_(config.registry ? config.registry
+                                : std::make_shared<obs::Registry>()),
       builder_(with_proposer(config.builder, config.self), std::move(signer)),
-      pipeline_(BatchProposer::Config{config.max_in_flight, config.f + 1}),
+      pipeline_(BatchProposer::Config{config.max_in_flight, config.f + 1,
+                                      config.self, registry_}),
       queue_(commands.begin(), commands.end()),
-      total_commands_(commands.size()) {}
+      total_commands_(commands.size()) {
+  if (!config.registry) registry_->lifecycle().set_enabled(false);
+}
 
 void BatchClient::on_start(net::IContext& ctx) {
+  registry_->trace_event(config_.self, obs::EventKind::kSubmit,
+                         total_commands_);
   pump(ctx);
   maybe_finish(ctx);
 }

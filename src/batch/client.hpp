@@ -37,6 +37,10 @@ public:
     /// Builder bounds; `proposer` is overwritten with `self`.
     BatchBuilderConfig builder;
     std::size_t max_in_flight = 4;  // K
+    /// Observability registry shared with the proposer window (seal /
+    /// confirm lifecycle marks, submit trace events). Created internally
+    /// when null.
+    std::shared_ptr<obs::Registry> registry;
   };
 
   BatchClient(Config config, std::shared_ptr<const crypto::ISigner> signer,
@@ -75,6 +79,7 @@ private:
   void maybe_finish(net::IContext& ctx);
 
   Config config_;
+  std::shared_ptr<obs::Registry> registry_;  // before pipeline_: shared down
   BatchBuilder builder_;
   BatchProposer pipeline_;
   std::deque<lattice::Value> queue_;  // commands not yet handed to builder

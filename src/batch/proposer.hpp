@@ -10,17 +10,21 @@
 // knob: while the window is full, newly arriving commands wait in the
 // builder instead of flooding the engines with proposals.
 //
-// Pure bookkeeping — no I/O, no clock — so it unit-tests without a
-// network and runs unchanged under the simulator and the thread runtime.
+// Pure bookkeeping — no I/O, and no clock beyond the obs registry's
+// (whose timestamps feed the seal/confirm lifecycle stages but never
+// protocol decisions) — so it unit-tests without a network and runs
+// unchanged under the simulator and the thread runtime.
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <set>
 #include <vector>
 
 #include "batch/batch.hpp"
 #include "crypto/sha256.hpp"
 #include "lattice/set_lattice.hpp"
+#include "obs/registry.hpp"
 
 namespace bla::batch {
 
@@ -33,21 +37,45 @@ public:
     /// that); the default of 1 trusts a single reporter and is only
     /// appropriate in single-replica unit tests.
     std::size_t completion_quorum = 1;
+    /// Owning client's node id — stamps this proposer's trace events
+    /// and lifecycle marks.
+    NodeId self = 0;
+    /// Observability registry: batch-seal and client-confirm lifecycle
+    /// marks (the ends of the per-command latency timeline) plus
+    /// "node<self>/batch/*" counters. Created internally when null
+    /// (with lifecycle tracking disabled — see rsm::ReplicaConfig).
+    std::shared_ptr<obs::Registry> registry;
   };
 
-  explicit BatchProposer(Config config) : config_(config) {}
+  explicit BatchProposer(Config config)
+      : config_(std::move(config)),
+        registry_(config_.registry ? config_.registry
+                                   : std::make_shared<obs::Registry>()) {
+    if (!config_.registry) registry_->lifecycle().set_enabled(false);
+    const std::string p =
+        "node" + std::to_string(config_.self) + "/batch/";
+    obs_batches_completed_ = registry_->counter(p + "batches_completed");
+    obs_commands_completed_ = registry_->counter(p + "commands_completed");
+  }
 
   [[nodiscard]] bool can_submit() const {
     return in_flight_.size() < config_.max_in_flight;
   }
 
   /// Registers a sealed batch as in flight. Call only when can_submit().
+  /// Opens the batch's lifecycle timeline at Stage::kSeal — the batch
+  /// value digest is the key every later stage (RBC deliver, decide,
+  /// execute, confirm) marks against.
   void mark_submitted(const SignedCommandBatch& b) {
     InFlight entry;
     entry.value = batch_value(b);
     entry.digest =
         crypto::Sha256::hash(std::span(entry.value.data(), entry.value.size()));
     entry.command_count = b.commands.size();
+    registry_->lifecycle().mark(entry.digest, obs::Stage::kSeal,
+                                config_.self);
+    registry_->trace_event(config_.self, obs::EventKind::kBatchSeal,
+                           obs::id64(entry.digest), entry.command_count);
     in_flight_.emplace(b.seq, std::move(entry));
     max_in_flight_seen_ = std::max(max_in_flight_seen_, in_flight_.size());
   }
@@ -106,6 +134,14 @@ private:
         completed.push_back(it->first);
         commands_completed_ += entry.command_count;
         ++batches_completed_;
+        obs_batches_completed_.inc();
+        obs_commands_completed_.inc(entry.command_count);
+        // The batch is durable from this client's perspective: close the
+        // timeline (execute -> confirm is the notification latency).
+        registry_->lifecycle().mark(entry.digest, obs::Stage::kConfirm,
+                                    config_.self);
+        registry_->trace_event(config_.self, obs::EventKind::kClientConfirm,
+                               obs::id64(entry.digest), entry.command_count);
         it = in_flight_.erase(it);
       } else {
         ++it;
@@ -115,6 +151,9 @@ private:
   }
 
   Config config_;
+  std::shared_ptr<obs::Registry> registry_;
+  obs::Counter obs_batches_completed_;
+  obs::Counter obs_commands_completed_;
   std::map<std::uint64_t, InFlight> in_flight_;  // by batch seq
   std::size_t max_in_flight_seen_ = 0;
   std::uint64_t batches_completed_ = 0;

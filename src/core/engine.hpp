@@ -20,6 +20,7 @@
 #include "crypto/sha256.hpp"
 #include "crypto/signer.hpp"
 #include "net/process.hpp"
+#include "obs/registry.hpp"
 #include "store/body_store.hpp"
 
 namespace bla::core {
@@ -76,6 +77,9 @@ struct EngineConfig {
   /// Shared content-addressed body store. The RSM replica passes its own
   /// (also backing the BatchVerifier cache); engines create one when null.
   std::shared_ptr<store::BodyStore> store;
+  /// Observability registry threaded down to the engine (and through it
+  /// to RBC / fetcher). Engines create a private one when null.
+  std::shared_ptr<obs::Registry> registry;
 };
 
 /// Builds an engine. `signer` is required for kGsbs (its protocol signs

@@ -201,12 +201,19 @@ GsbsProcess::GsbsProcess(GsbsConfig config,
       on_decide_(std::move(on_decide)),
       store_(config_.store ? config_.store
                            : std::make_shared<store::BodyStore>()),
+      registry_(config_.registry ? config_.registry
+                                 : std::make_shared<obs::Registry>()),
       fetcher_(std::make_unique<store::BodyFetcher>(
           store::BodyFetcher::Config{config_.self, config_.n,
                                      lattice::kMaxValueBytes,
-                                     /*fanout=*/config_.f + 1},
+                                     /*fanout=*/config_.f + 1, registry_},
           store_,
           [this](NodeId to, wire::Bytes b) { ctx_->send(to, std::move(b)); })) {
+  const std::string p = "node" + std::to_string(config_.self) + "/gsbs/";
+  obs_rounds_ = registry_->counter(p + "rounds");
+  obs_decisions_ = registry_->counter(p + "decisions");
+  obs_refinements_ = registry_->counter(p + "refinements");
+  obs_sig_checks_ = registry_->counter(p + "sig_checks");
 }
 
 void GsbsProcess::submit(Value value) {
@@ -278,6 +285,7 @@ crypto::Sha256::Digest GsbsProcess::proposal_digest(
 
 bool GsbsProcess::verify_signed_batch(const SignedBatch& sb) const {
   if (sb.signer >= config_.n) return false;
+  obs_sig_checks_.inc();
   return signer_->verify(sb.signer, batch_signing_bytes(sb), sb.signature);
 }
 
@@ -294,6 +302,7 @@ bool GsbsProcess::verify_conflict_pair(
 
 bool GsbsProcess::verify_batch_safe_ack(const BatchSafeAck& ack) const {
   if (ack.acceptor >= config_.n) return false;
+  obs_sig_checks_.inc();
   if (!signer_->verify(ack.acceptor, safe_ack_signing_bytes(ack),
                        ack.signature)) {
     return false;
@@ -336,6 +345,7 @@ bool GsbsProcess::verify_cert(const DecidedCert& cert) const {
     if (!senders.insert(ack.acceptor).second) return false;
     if (ack.round != cert.round || ack.ts != cert.ts) return false;
     if (ack.digest != digest) return false;
+    obs_sig_checks_.inc();
     if (!signer_->verify(ack.acceptor, ack_signing_bytes(ack),
                          ack.signature)) {
       return false;
@@ -361,6 +371,7 @@ void GsbsProcess::start_round() {
     return;
   }
   state_ = State::kInit;
+  obs_rounds_.inc();
   safe_acks_.clear();
   safety_snapshot_.clear();
 
@@ -426,6 +437,8 @@ void GsbsProcess::enter_proposing() {
 }
 
 void GsbsProcess::send_ack_req() {
+  registry_->trace_event(config_.self, obs::EventKind::kPropose, round_,
+                         proposed_.size());
   std::vector<ProvenBatch> proposal;
   proposal.reserve(proposed_.size());
   for (const auto& [sb, proof] : proposed_) proposal.push_back({sb, proof});
@@ -455,6 +468,9 @@ void GsbsProcess::broadcast_cert_and_decide(DecidedCert cert) {
 
   decided_set_ = decision;
   decisions_.push_back({decided_set_, round, ctx_->now()});
+  obs_decisions_.inc();
+  registry_->trace_event(config_.self, obs::EventKind::kDecide, round,
+                         decided_set_.size());
   if (on_decide_) on_decide_(decisions_.back());
   round_ += 1;
   start_round();
@@ -471,6 +487,9 @@ void GsbsProcess::adopt_cert(const DecidedCert& cert) {
   }
   decided_set_ = union_set;
   decisions_.push_back({decided_set_, round_, ctx_->now()});
+  obs_decisions_.inc();
+  registry_->trace_event(config_.self, obs::EventKind::kDecide, round_,
+                         decided_set_.size());
   if (on_decide_) on_decide_(decisions_.back());
   round_ += 1;
   start_round();
@@ -736,6 +755,7 @@ void GsbsProcess::on_ack(NodeId from, wire::Decoder& dec) {
   dec.expect_done();
   if (ack.acceptor != from || ack.ts != ts_ || ack.round != round_) return;
   if (ack.digest != proposal_digest(proposed_)) return;
+  obs_sig_checks_.inc();
   if (!signer_->verify(from, ack_signing_bytes(ack), ack.signature)) return;
   if (!ack_senders_.insert(from).second) return;
   collected_acks_.push_back(std::move(ack));
@@ -776,6 +796,7 @@ void GsbsProcess::on_nack(NodeId from, wire::Decoder& dec,
   collected_acks_.clear();
   ts_ += 1;
   refinements_ += 1;
+  obs_refinements_.inc();
   send_ack_req();
 }
 

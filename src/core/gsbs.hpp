@@ -103,6 +103,12 @@ struct GsbsConfig {
   bool digest_refs = true;
   /// Shared content-addressed body store (created internally when null).
   std::shared_ptr<store::BodyStore> store;
+  /// Observability registry shared down through the fetcher; engine
+  /// counters register as "node<self>/gsbs/*" — including sig_checks,
+  /// the signature-verification tally ROADMAP item 4 (crypto off the
+  /// critical path) needs for its before/after. Created internally when
+  /// null.
+  std::shared_ptr<obs::Registry> registry;
 };
 
 class GsbsProcess : public IAgreementEngine {
@@ -205,7 +211,13 @@ private:
   DecideFn on_decide_;
   net::IContext* ctx_ = nullptr;
   std::shared_ptr<store::BodyStore> store_;
+  std::shared_ptr<obs::Registry> registry_;  // before fetcher_: shared down
   std::unique_ptr<store::BodyFetcher> fetcher_;
+  obs::Counter obs_rounds_;
+  obs::Counter obs_decisions_;
+  obs::Counter obs_refinements_;
+  /// Every signer_->verify call — the ROADMAP item 4 bottleneck metric.
+  obs::Counter obs_sig_checks_;
 
   State state_ = State::kInit;
   std::uint64_t round_ = 0;

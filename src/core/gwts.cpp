@@ -11,15 +11,22 @@ GwtsProcess::GwtsProcess(GwtsConfig config, DecideFn on_decide)
       on_decide_(std::move(on_decide)),
       store_(config_.store ? config_.store
                            : std::make_shared<store::BodyStore>()),
+      registry_(config_.registry ? config_.registry
+                                 : std::make_shared<obs::Registry>()),
       rbc_(
           rbc::BrachaRbc::Config{config_.self, config_.n, config_.f,
-                                 config_.digest_refs, store_},
+                                 config_.digest_refs, store_, registry_},
           [this](NodeId to, wire::Bytes bytes) {
             ctx_->send(to, std::move(bytes));
           },
           [this](NodeId origin, std::uint64_t tag, wire::Bytes payload) {
             on_rbc_deliver(origin, tag, std::move(payload));
-          }) {}
+          }) {
+  const std::string p = "node" + std::to_string(config_.self) + "/gwts/";
+  obs_rounds_ = registry_->counter(p + "rounds");
+  obs_decisions_ = registry_->counter(p + "decisions");
+  obs_refinements_ = registry_->counter(p + "refinements");
+}
 
 void GwtsProcess::submit(Value value) {
   // Alg. 3 lines 8-9: values received during round r join Batch[r+1].
@@ -43,6 +50,7 @@ void GwtsProcess::start_round() {
     return;
   }
   state_ = State::kDisclosing;
+  obs_rounds_.inc();
   const ValueSet& batch = batches_[round_];
   proposed_set_.merge(batch);
 
@@ -72,6 +80,8 @@ void GwtsProcess::begin_proposing() {
 }
 
 void GwtsProcess::send_ack_req() {
+  registry_->trace_event(config_.self, obs::EventKind::kPropose, round_,
+                         proposed_set_.size());
   // The proposed set is cumulative across rounds; references keep the
   // rebroadcast cost at 33 bytes per value instead of the full body
   // (every value in it was disclosed, so acceptors hold the bodies).
@@ -180,6 +190,15 @@ void GwtsProcess::on_disclosure(NodeId origin, std::uint64_t round,
 
   // Alg. 3 lines 16-20. The RBC tag pins (origin, round), so each origin
   // contributes at most one batch per round (Observation 3).
+  if (registry_->lifecycle().enabled()) {
+    // A disclosed value has cleared reliable broadcast: the kRbcDeliver
+    // stage of its lifecycle. Monotone marking in the Lifecycle makes
+    // repeats (n replicas see each disclosure) free after the first.
+    for (const Value& v : batch) {
+      registry_->lifecycle().mark(store::body_digest(v),
+                                  obs::Stage::kRbcDeliver, config_.self);
+    }
+  }
   for (const Value& v : batch) {
     auto [it, inserted] = value_round_.try_emplace(v, round);
     if (!inserted && round < it->second) it->second = round;
@@ -263,6 +282,9 @@ void GwtsProcess::check_decide() {
     decided_set_ = set;
     Decision decision{decided_set_, round_, ctx_ != nullptr ? ctx_->now() : 0.0};
     decisions_.push_back(decision);
+    obs_decisions_.inc();
+    registry_->trace_event(config_.self, obs::EventKind::kDecide, round_,
+                           decided_set_.size());
     if (on_decide_) on_decide_(decisions_.back());
     round_ += 1;
     start_round();
@@ -358,6 +380,7 @@ void GwtsProcess::handle_nack(const PendingPoint& msg) {
   proposed_set_.merge(msg.set);
   ts_ += 1;
   refinements_ += 1;
+  obs_refinements_.inc();
   send_ack_req();
 }
 

@@ -54,6 +54,11 @@ struct GwtsConfig {
   /// Shared content-addressed body store (created internally when null;
   /// the RSM replica passes its own so batch bodies are stored once).
   std::shared_ptr<store::BodyStore> store;
+  /// Observability registry shared down through the RBC and fetcher;
+  /// engine counters register as "node<self>/gwts/*". Created internally
+  /// when null (with command-lifecycle tracking disabled — nobody reads a
+  /// private registry's lifecycle, and tracking hashes every value).
+  std::shared_ptr<obs::Registry> registry;
 };
 
 class GwtsProcess : public IAgreementEngine {
@@ -160,9 +165,14 @@ private:
   DecideFn on_decide_;
   net::IContext* ctx_ = nullptr;
   // Declared before rbc_: the RBC shares this store (its digest frames
-  // and our value references resolve against the same bodies).
+  // and our value references resolve against the same bodies) and this
+  // registry.
   std::shared_ptr<store::BodyStore> store_;
+  std::shared_ptr<obs::Registry> registry_;
   rbc::BrachaRbc rbc_;
+  obs::Counter obs_rounds_;
+  obs::Counter obs_decisions_;
+  obs::Counter obs_refinements_;
 
   // Proposer state (Alg. 3).
   State state_ = State::kDisclosing;

@@ -52,11 +52,14 @@ public:
 };
 
 /// Per-node traffic counters, the raw data behind the message-complexity
-/// tables (T3/T4/T5).
+/// tables (T3/T4/T5). Delivery-side bytes are counted too so
+/// ingress/egress asymmetry (e.g. a node serving bodies it never
+/// requested) is visible per node.
 struct NodeMetrics {
   std::uint64_t messages_sent = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t messages_delivered = 0;
+  std::uint64_t bytes_delivered = 0;
 };
 
 }  // namespace bla::net

@@ -33,7 +33,18 @@ private:
 SimNetwork::SimNetwork(Config config)
     : delay_(config.delay ? std::move(config.delay)
                           : std::make_unique<ConstantDelay>(1.0)),
-      rng_(config.seed) {}
+      registry_(std::move(config.registry)),
+      rng_(config.seed) {
+  if (registry_) {
+    // All observers of this registry get simulated time.
+    sim_clock_ = std::make_shared<obs::ManualClock>();
+    registry_->set_clock(sim_clock_);
+    obs_messages_sent_ = registry_->counter("net/messages_sent");
+    obs_bytes_sent_ = registry_->counter("net/bytes_sent");
+    obs_messages_delivered_ = registry_->counter("net/messages_delivered");
+    obs_bytes_delivered_ = registry_->counter("net/bytes_delivered");
+  }
+}
 
 NodeId SimNetwork::add_process(std::unique_ptr<IProcess> process) {
   if (started_) throw std::logic_error("add_process after run()");
@@ -49,6 +60,8 @@ void SimNetwork::enqueue(NodeId from, NodeId to, wire::Bytes payload) {
   m.bytes_sent += payload.size();
   total_messages_ += 1;
   total_bytes_ += payload.size();
+  obs_messages_sent_.inc();
+  obs_bytes_sent_.inc(payload.size());
   const double delay = delay_->sample(from, to, rng_);
   queue_.push(Event{now_ + delay, next_seq_++, from, to, std::move(payload)});
 }
@@ -68,7 +81,13 @@ std::uint64_t SimNetwork::run(std::uint64_t max_events,
     Event ev = queue_.top();
     queue_.pop();
     now_ = ev.time;
+    // Advance simulated time *before* delivery so instrumentation inside
+    // the handler timestamps at this event's time.
+    if (sim_clock_) sim_clock_->advance_to(now_);
     metrics_[ev.to].messages_delivered += 1;
+    metrics_[ev.to].bytes_delivered += ev.payload.size();
+    obs_messages_delivered_.inc();
+    obs_bytes_delivered_.inc(ev.payload.size());
     Context ctx(*this, ev.to);
     processes_[ev.to]->on_message(ctx, ev.from, ev.payload);
     ++delivered;

@@ -17,6 +17,7 @@
 
 #include "net/delay_model.hpp"
 #include "net/process.hpp"
+#include "obs/registry.hpp"
 
 namespace bla::net {
 
@@ -25,6 +26,13 @@ public:
   struct Config {
     std::uint64_t seed = 1;
     std::unique_ptr<IDelayModel> delay;  // defaults to ConstantDelay(1)
+    /// Shared observability registry. The simulator installs an
+    /// obs::ManualClock it advances to each delivered event's simulated
+    /// time, so every trace event / latency histogram recorded through
+    /// this registry — by the simulator or the processes it hosts — is
+    /// timestamped in message-delay units, the paper's cost model.
+    /// Aggregate net/* counters are registered too. Optional.
+    std::shared_ptr<obs::Registry> registry;
   };
 
   explicit SimNetwork(Config config);
@@ -77,6 +85,12 @@ private:
   std::vector<NodeMetrics> metrics_;
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
   std::unique_ptr<IDelayModel> delay_;
+  std::shared_ptr<obs::Registry> registry_;
+  std::shared_ptr<obs::ManualClock> sim_clock_;
+  obs::Counter obs_messages_sent_;
+  obs::Counter obs_bytes_sent_;
+  obs::Counter obs_messages_delivered_;
+  obs::Counter obs_bytes_delivered_;
   Rng rng_;
   double now_ = 0.0;
   std::uint64_t next_seq_ = 0;

@@ -44,6 +44,15 @@ NodeId ThreadNetwork::add_process(std::unique_ptr<IProcess> process) {
   return static_cast<NodeId>(nodes_.size() - 1);
 }
 
+void ThreadNetwork::attach_registry(
+    const std::shared_ptr<obs::Registry>& registry) {
+  if (!registry || running_.load()) return;
+  obs_messages_sent_ = registry->counter("net/messages_sent");
+  obs_bytes_sent_ = registry->counter("net/bytes_sent");
+  obs_messages_delivered_ = registry->counter("net/messages_delivered");
+  obs_bytes_delivered_ = registry->counter("net/bytes_delivered");
+}
+
 void ThreadNetwork::deliver(NodeId from, NodeId to, wire::Bytes payload) {
   Node& sender = *nodes_[from];
   {
@@ -51,6 +60,8 @@ void ThreadNetwork::deliver(NodeId from, NodeId to, wire::Bytes payload) {
     sender.metrics.messages_sent += 1;
     sender.metrics.bytes_sent += payload.size();
   }
+  obs_messages_sent_.inc();
+  obs_bytes_sent_.inc(payload.size());
   Node& target = *nodes_[to];
   busy_.fetch_add(1, std::memory_order_acq_rel);
   {
@@ -74,7 +85,10 @@ void ThreadNetwork::node_loop(NodeId id) {
       mail = std::move(node.mailbox.front());
       node.mailbox.pop_front();
       node.metrics.messages_delivered += 1;
+      node.metrics.bytes_delivered += mail.second.size();
     }
+    obs_messages_delivered_.inc();
+    obs_bytes_delivered_.inc(mail.second.size());
     node.process->on_message(ctx, mail.first, mail.second);
     busy_.fetch_sub(1, std::memory_order_acq_rel);
   }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "net/process.hpp"
+#include "obs/registry.hpp"
 
 namespace bla::net {
 
@@ -29,6 +30,11 @@ public:
   ThreadNetwork& operator=(const ThreadNetwork&) = delete;
 
   NodeId add_process(std::unique_ptr<IProcess> process);
+
+  /// Registers aggregate net/* traffic counters in `registry`. The
+  /// registry's default WallClock is already the right time source for
+  /// this runtime, so the clock is left untouched. Call before start().
+  void attach_registry(const std::shared_ptr<obs::Registry>& registry);
 
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
 
@@ -61,6 +67,12 @@ private:
   void node_loop(NodeId id);
 
   std::vector<std::unique_ptr<Node>> nodes_;
+  // Counter views are lock-free atomics, safe to bump from any node
+  // thread without taking the per-node mutexes.
+  obs::Counter obs_messages_sent_;
+  obs::Counter obs_bytes_sent_;
+  obs::Counter obs_messages_delivered_;
+  obs::Counter obs_bytes_delivered_;
   std::atomic<bool> running_{false};
   std::atomic<std::int64_t> busy_{0};  // queued messages + running handlers
 };

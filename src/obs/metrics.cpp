@@ -1,0 +1,153 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bla::obs {
+
+namespace detail {
+
+std::size_t bucket_index(double v) {
+  if (!(v > HistogramCell::kBase)) return 0;  // also catches NaN, <= 0
+  // ceil keeps the documented (lo, hi] bucket bounds: an exact upper
+  // edge kBase*2^i indexes bucket i, not i+1 (log2 is exact on
+  // power-of-two ratios, so no epsilon fudge is needed).
+  const double idx =
+      std::max(1.0, std::ceil(std::log2(v / HistogramCell::kBase)));
+  if (idx >= static_cast<double>(HistogramCell::kBuckets - 1)) {
+    return HistogramCell::kBuckets - 1;
+  }
+  return static_cast<std::size_t>(idx);
+}
+
+double bucket_lower(std::size_t i) {
+  if (i == 0) return 0.0;
+  return HistogramCell::kBase * std::ldexp(1.0, static_cast<int>(i) - 1);
+}
+
+double bucket_upper(std::size_t i) {
+  return HistogramCell::kBase * std::ldexp(1.0, static_cast<int>(i));
+}
+
+namespace {
+
+void atomic_add(std::atomic<double>& a, double delta) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + delta,
+                                  std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+}  // namespace detail
+
+void Gauge::set(double v) const {
+  if (cell_ != nullptr) cell_->value.store(v, std::memory_order_relaxed);
+}
+
+void Gauge::add(double delta) const {
+  if (cell_ != nullptr) detail::atomic_add(cell_->value, delta);
+}
+
+void Gauge::max_of(double v) const {
+  if (cell_ != nullptr) detail::atomic_max(cell_->value, v);
+}
+
+double Gauge::value() const {
+  return cell_ != nullptr ? cell_->value.load(std::memory_order_relaxed)
+                          : 0.0;
+}
+
+void Histogram::observe(double v) const {
+  if (cell_ == nullptr) return;
+  if (std::isnan(v)) return;
+  if (v < 0.0) v = 0.0;
+  // First observation seeds min/max: claim the count slot, and let the
+  // seeding race resolve via atomic_min/max (a concurrent observer may
+  // see min still at the 0.0 sentinel for one snapshot — acceptable for
+  // monitoring data, and impossible once any observation has landed).
+  const std::uint64_t prev =
+      cell_->count.fetch_add(1, std::memory_order_relaxed);
+  if (prev == 0) {
+    cell_->min.store(v, std::memory_order_relaxed);
+    cell_->max.store(v, std::memory_order_relaxed);
+  } else {
+    detail::atomic_min(cell_->min, v);
+    detail::atomic_max(cell_->max, v);
+  }
+  detail::atomic_add(cell_->sum, v);
+  cell_->buckets[detail::bucket_index(v)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  if (cell_ == nullptr) return snap;
+  snap.count = cell_->count.load(std::memory_order_relaxed);
+  snap.sum = cell_->sum.load(std::memory_order_relaxed);
+  snap.min = cell_->min.load(std::memory_order_relaxed);
+  snap.max = cell_->max.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < detail::HistogramCell::kBuckets; ++i) {
+    snap.buckets[i] = cell_->buckets[i].load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+std::uint64_t Histogram::count() const {
+  return cell_ != nullptr ? cell_->count.load(std::memory_order_relaxed)
+                          : 0;
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count - 1);
+  // Walk buckets to the one containing `rank` (0-based observation
+  // index), then interpolate linearly across the bucket's span.
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const std::uint64_t in_bucket = buckets[i];
+    if (in_bucket == 0) continue;
+    // Observations in this bucket cover ranks [seen, seen+in_bucket).
+    if (rank < static_cast<double>(seen + in_bucket)) {
+      const double frac =
+          in_bucket == 1
+              ? 0.5
+              : (rank - static_cast<double>(seen)) /
+                    static_cast<double>(in_bucket - 1);
+      const double lo = detail::bucket_lower(i);
+      const double hi = detail::bucket_upper(i);
+      const double est = lo + frac * (hi - lo);
+      // Bucket edges overstate spread; the observed extremes are exact.
+      return std::clamp(est, min, max);
+    }
+    seen += in_bucket;
+  }
+  return max;  // count/bucket tallies raced; fall back to the extreme
+}
+
+double quantile_from_sorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace bla::obs

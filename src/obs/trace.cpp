@@ -1,0 +1,95 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace bla::obs {
+
+const char* event_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kSubmit:
+      return "submit";
+    case EventKind::kBatchSeal:
+      return "batch_seal";
+    case EventKind::kPropose:
+      return "propose";
+    case EventKind::kRbcSend:
+      return "rbc_send";
+    case EventKind::kRbcEcho:
+      return "rbc_echo";
+    case EventKind::kRbcReady:
+      return "rbc_ready";
+    case EventKind::kRbcDeliver:
+      return "rbc_deliver";
+    case EventKind::kFetchMiss:
+      return "fetch_miss";
+    case EventKind::kFetchPark:
+      return "fetch_park";
+    case EventKind::kFetchResolve:
+      return "fetch_resolve";
+    case EventKind::kDecide:
+      return "decide";
+    case EventKind::kExecute:
+      return "execute";
+    case EventKind::kClientConfirm:
+      return "client_confirm";
+    case EventKind::kWarnOversizedBroadcast:
+      return "warn_oversized_broadcast";
+    case EventKind::kWarnNearCapBroadcast:
+      return "warn_near_cap_broadcast";
+    case EventKind::kWarnFetchExhausted:
+      return "warn_fetch_exhausted";
+    case EventKind::kWarnParkShed:
+      return "warn_park_shed";
+  }
+  return "unknown";
+}
+
+TraceLog::TraceLog(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+void TraceLog::record(double time, std::uint32_t node, EventKind kind,
+                      std::uint64_t a, std::uint64_t b) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(TraceEvent{time, node, kind, a, b});
+    return;
+  }
+  ring_[head_] = TraceEvent{time, node, kind, a, b};
+  head_ = (head_ + 1) % capacity_;
+}
+
+std::vector<TraceEvent> TraceLog::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // Once the ring is full, head_ points at the oldest entry.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t TraceLog::total_recorded() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::string TraceLog::dump() const {
+  const std::vector<TraceEvent> events = snapshot();
+  std::string out;
+  out.reserve(events.size() * 64);
+  char line[160];
+  for (const TraceEvent& ev : events) {
+    std::snprintf(line, sizeof(line),
+                  "%14.9f  node%-3u  %-24s  a=%llu b=%llu\n", ev.time,
+                  ev.node, event_name(ev.kind),
+                  static_cast<unsigned long long>(ev.a),
+                  static_cast<unsigned long long>(ev.b));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace bla::obs

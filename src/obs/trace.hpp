@@ -1,0 +1,85 @@
+#pragma once
+// TraceLog: a bounded ring buffer of timestamped protocol events — the
+// command-lifecycle record (submit, batch-seal, propose, RBC
+// send/echo/ready/deliver, fetch miss/park/resolve, decide, execute,
+// client-confirm) plus the stall watchdog's warning events. Meant for
+// test-failure forensics: when a scenario wedges, dump() shows the last
+// few thousand protocol steps in time order.
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace bla::obs {
+
+/// First 8 bytes of a digest (big-endian) as a trace-event payload, so
+/// events about the same content correlate across nodes and layers.
+[[nodiscard]] inline std::uint64_t id64(std::span<const std::uint8_t> bytes) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8 && i < bytes.size(); ++i) {
+    v = (v << 8) | bytes[i];
+  }
+  return v;
+}
+
+enum class EventKind : std::uint8_t {
+  // Command lifecycle.
+  kSubmit = 0,
+  kBatchSeal,
+  kPropose,
+  kRbcSend,
+  kRbcEcho,
+  kRbcReady,
+  kRbcDeliver,
+  kFetchMiss,
+  kFetchPark,
+  kFetchResolve,
+  kDecide,
+  kExecute,
+  kClientConfirm,
+  // Stall-watchdog warnings (health() mirrors these as counters).
+  kWarnOversizedBroadcast,
+  kWarnNearCapBroadcast,
+  kWarnFetchExhausted,
+  kWarnParkShed,
+};
+
+[[nodiscard]] const char* event_name(EventKind kind);
+
+struct TraceEvent {
+  double time = 0.0;
+  std::uint32_t node = 0;
+  EventKind kind = EventKind::kSubmit;
+  /// Event-specific payloads (e.g. digest prefix, byte size, count).
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+class TraceLog {
+public:
+  explicit TraceLog(std::size_t capacity = 4096);
+
+  void record(double time, std::uint32_t node, EventKind kind,
+              std::uint64_t a = 0, std::uint64_t b = 0);
+
+  /// Events oldest -> newest (at most capacity() of them).
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+  /// Total record() calls, including events the ring has since evicted.
+  [[nodiscard]] std::uint64_t total_recorded() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Human-readable multi-line rendering of snapshot(), for forensics.
+  [[nodiscard]] std::string dump() const;
+
+private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;  // grows lazily to capacity_
+  std::size_t head_ = 0;          // next write slot once full
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace bla::obs

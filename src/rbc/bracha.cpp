@@ -4,17 +4,42 @@
 
 namespace bla::rbc {
 
+namespace {
+/// Early-warning threshold for broadcast payload growth: 3/4 of the cap.
+constexpr std::size_t kNearCapBytes =
+    kMaxPayloadBytes - kMaxPayloadBytes / 4;
+}  // namespace
+
 BrachaRbc::BrachaRbc(Config config, SendFn send, DeliverFn deliver)
     : config_(std::move(config)),
       send_(std::move(send)),
       deliver_(std::move(deliver)),
       store_(config_.store ? config_.store
                            : std::make_shared<store::BodyStore>()),
+      registry_(config_.registry ? config_.registry
+                                 : std::make_shared<obs::Registry>()),
       fetcher_(
           store::BodyFetcher::Config{config_.self, config_.n,
                                      kMaxPayloadBytes,
-                                     /*fanout=*/config_.f + 1},
-          store_, [this](NodeId to, wire::Bytes b) { send_(to, std::move(b)); }) {}
+                                     /*fanout=*/config_.f + 1, registry_},
+          store_, [this](NodeId to, wire::Bytes b) { send_(to, std::move(b)); }) {
+  const std::string p = "node" + std::to_string(config_.self) + "/rbc/";
+  stats_.oversized_payload = registry_->counter(p + "oversized_payload");
+  stats_.malformed = registry_->counter(p + "malformed");
+  stats_.bad_origin = registry_->counter(p + "bad_origin");
+  stats_.instance_cap = registry_->counter(p + "instance_cap");
+  stats_.duplicate_vote = registry_->counter(p + "duplicate_vote");
+  stats_.delivered = registry_->counter(p + "delivered");
+  stats_.deliveries_pending_fetch =
+      registry_->counter(p + "deliveries_pending_fetch");
+  stats_.oversized_broadcast =
+      registry_->counter(p + "oversized_broadcast", /*warning=*/true);
+  stats_.near_cap_broadcast =
+      registry_->counter(p + "near_cap_broadcast", /*warning=*/true);
+  largest_broadcast_ =
+      registry_->gauge(p + "largest_broadcast_bytes",
+                       /*warn_at=*/static_cast<double>(kNearCapBytes));
+}
 
 BrachaRbc::Instance* BrachaRbc::instance_for(const InstanceKey& key) {
   auto it = instances_.find(key);
@@ -37,6 +62,10 @@ void BrachaRbc::release_instance(Instance& inst) {
 
 void BrachaRbc::emit(MsgType type, const InstanceKey& key,
                      wire::BytesView vote) {
+  registry_->trace_event(config_.self,
+                         type == MsgType::kEcho ? obs::EventKind::kRbcEcho
+                                                : obs::EventKind::kRbcReady,
+                         key.tag, key.origin);
   wire::Encoder enc;
   enc.u8(static_cast<std::uint8_t>(type));
   enc.u32(key.origin);
@@ -51,7 +80,25 @@ void BrachaRbc::emit(MsgType type, const InstanceKey& key,
   }
 }
 
-void BrachaRbc::broadcast(std::uint64_t tag, wire::BytesView payload) {
+bool BrachaRbc::broadcast(std::uint64_t tag, wire::BytesView payload) {
+  largest_broadcast_.max_of(static_cast<double>(payload.size()));
+  if (payload.size() > kMaxPayloadBytes) {
+    // Every correct receiver would reject this SEND; fail loudly at the
+    // send site instead of stalling the cluster silently.
+    ++stats_.oversized_broadcast;
+    registry_->trace_event(config_.self,
+                           obs::EventKind::kWarnOversizedBroadcast, tag,
+                           payload.size());
+    return false;
+  }
+  if (payload.size() > kNearCapBytes) {
+    ++stats_.near_cap_broadcast;
+    registry_->trace_event(config_.self,
+                           obs::EventKind::kWarnNearCapBroadcast, tag,
+                           payload.size());
+  }
+  registry_->trace_event(config_.self, obs::EventKind::kRbcSend, tag,
+                         payload.size());
   // SEND carries no origin field: the authenticated channel provides it.
   // It is the one frame type that ships the body even under digest
   // dissemination — the origin is the only process that has it.
@@ -62,6 +109,7 @@ void BrachaRbc::broadcast(std::uint64_t tag, wire::BytesView payload) {
   for (NodeId to = 0; to < config_.n; ++to) {
     send_(to, enc.view());
   }
+  return true;
 }
 
 bool BrachaRbc::handle(NodeId from, std::uint8_t type, wire::Decoder& dec) {
@@ -211,6 +259,8 @@ void BrachaRbc::deliver(const InstanceKey& key, Instance& inst,
     // delivery per instance); free them and refund the payers.
     release_instance(inst);
     ++stats_.delivered;
+    registry_->trace_event(config_.self, obs::EventKind::kRbcDeliver,
+                           key.tag, key.origin);
     deliver_(key.origin, key.tag, std::move(payload));
     return;
   }
@@ -220,6 +270,8 @@ void BrachaRbc::deliver(const InstanceKey& key, Instance& inst,
   if (auto body = store_->get(d)) {
     release_instance(inst);
     ++stats_.delivered;
+    registry_->trace_event(config_.self, obs::EventKind::kRbcDeliver,
+                           key.tag, key.origin);
     deliver_(key.origin, key.tag, *body);
     return;
   }
@@ -246,6 +298,8 @@ void BrachaRbc::deliver(const InstanceKey& key, Instance& inst,
         auto body = store_->get(d);
         if (!body) return;
         ++stats_.delivered;
+        registry_->trace_event(config_.self, obs::EventKind::kRbcDeliver,
+                               tag, origin);
         deliver_(origin, tag, *body);
       },
       /*critical=*/true);

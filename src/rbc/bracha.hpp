@@ -44,6 +44,7 @@
 
 #include "lattice/value.hpp"
 #include "net/process.hpp"
+#include "obs/registry.hpp"
 #include "store/body_store.hpp"
 #include "store/fetch.hpp"
 #include "wire/wire.hpp"
@@ -105,19 +106,34 @@ public:
     /// the owning engine so value-level references resolve against the
     /// same bodies. Created internally when null.
     std::shared_ptr<store::BodyStore> store;
+    /// Observability registry: counters prefixed "node<self>/rbc/",
+    /// protocol trace events, and the oversized/near-cap broadcast
+    /// warnings the stall watchdog reports. Shared with the embedded
+    /// fetcher. Created internally when null.
+    std::shared_ptr<obs::Registry> registry;
   };
 
   /// Reject/drop counters, so silent-stall failure modes (e.g. frames
   /// exceeding kMaxPayloadBytes once cumulative state outgrows the cap)
-  /// are diagnosable without logs.
+  /// are diagnosable without logs. The fields are registry-backed views
+  /// (obs::Counter) with the same names and integral reads as the former
+  /// plain-uint64 struct.
   struct Stats {
-    std::uint64_t oversized_payload = 0;  // payload > kMaxPayloadBytes
-    std::uint64_t malformed = 0;          // WireError while decoding
-    std::uint64_t bad_origin = 0;         // claimed origin ≥ n
-    std::uint64_t instance_cap = 0;       // per-origin instance cap hit
-    std::uint64_t duplicate_vote = 0;     // 2nd ECHO/READY from one peer
-    std::uint64_t delivered = 0;          // deliveries fired
-    std::uint64_t deliveries_pending_fetch = 0;  // quorum before body
+    obs::Counter oversized_payload;  // received payload > kMaxPayloadBytes
+    obs::Counter malformed;          // WireError while decoding
+    obs::Counter bad_origin;         // claimed origin ≥ n
+    obs::Counter instance_cap;       // per-origin instance cap hit
+    obs::Counter duplicate_vote;     // 2nd ECHO/READY from one peer
+    obs::Counter delivered;          // deliveries fired
+    obs::Counter deliveries_pending_fetch;  // quorum before body
+    /// Send-site rejections: broadcast() refused a payload over
+    /// kMaxPayloadBytes (warning class — before this counter the GWTS
+    /// cumulative-set overflow of ROADMAP item 1b surfaced only as
+    /// receiver-side oversized_payload drops on *other* nodes).
+    obs::Counter oversized_broadcast;
+    /// broadcast() payload crossed 3/4 of kMaxPayloadBytes: the overflow
+    /// early-warning (warning class).
+    obs::Counter near_cap_broadcast;
   };
 
   /// Point-to-point transmit provided by the owning process.
@@ -129,8 +145,12 @@ public:
   BrachaRbc(Config config, SendFn send, DeliverFn deliver);
 
   /// Reliably broadcasts `payload` under this node's identity with `tag`.
-  /// Correct callers must not reuse a tag.
-  void broadcast(std::uint64_t tag, wire::BytesView payload);
+  /// Correct callers must not reuse a tag. Returns false — sending
+  /// nothing — when the payload exceeds kMaxPayloadBytes: every correct
+  /// receiver would drop the SEND anyway, so rejecting at the send site
+  /// turns a silent cluster-wide stall into a local, counted, traced
+  /// failure (stats().oversized_broadcast + kWarnOversizedBroadcast).
+  bool broadcast(std::uint64_t tag, wire::BytesView payload);
 
   /// Feeds one incoming frame whose leading type byte was `type`.
   /// Returns true if the frame was an RBC or body-pull frame (consumed),
@@ -200,10 +220,14 @@ private:
   SendFn send_;
   DeliverFn deliver_;
   std::shared_ptr<store::BodyStore> store_;
+  std::shared_ptr<obs::Registry> registry_;  // before fetcher_: shared down
   store::BodyFetcher fetcher_;
   std::map<InstanceKey, Instance> instances_;
   std::map<NodeId, std::size_t> instances_per_origin_;
   Stats stats_;
+  /// High-water mark of broadcast() payload sizes; warns at 3/4 of
+  /// kMaxPayloadBytes so health() flags growth *before* the cap bites.
+  obs::Gauge largest_broadcast_;
 };
 
 }  // namespace bla::rbc

@@ -43,6 +43,12 @@ struct ReplicaConfig {
   /// match digests (BatchClient does; the plain RsmClient needs values),
   /// hence opt-in rather than tied to digest_refs.
   bool digest_decide_notifications = false;
+  /// Observability registry shared down through the engine, RBC, and
+  /// fetcher. When null a private registry is created with
+  /// command-lifecycle tracking disabled (nobody reads it, and tracking
+  /// hashes every decided value); pass a shared registry to get the
+  /// per-stage latency histograms.
+  std::shared_ptr<obs::Registry> registry;
 };
 
 class RsmReplica : public net::IProcess {
@@ -62,12 +68,17 @@ public:
     return execute(engine_->decided_set());
   }
 
-  /// Batched-path counters (bench/test observability).
+  /// Batched-path counters (bench/test observability; registry-backed).
   [[nodiscard]] std::uint64_t batches_admitted() const {
     return batches_admitted_;
   }
   [[nodiscard]] std::uint64_t batches_rejected() const {
     return batches_rejected_;
+  }
+  /// The replica's observability registry (the config's, or the private
+  /// one created when none was passed).
+  [[nodiscard]] const std::shared_ptr<obs::Registry>& registry() const {
+    return registry_;
   }
   [[nodiscard]] const batch::BatchVerifier* batch_verifier() const {
     return verifier_ ? &*verifier_ : nullptr;
@@ -89,12 +100,13 @@ private:
 
   ReplicaConfig config_;
   std::shared_ptr<store::BodyStore> store_;
+  std::shared_ptr<obs::Registry> registry_;  // before engine_: shared down
   std::unique_ptr<core::IAgreementEngine> engine_;
   std::optional<batch::BatchVerifier> verifier_;  // engaged iff signer set
   net::IContext* ctx_ = nullptr;
   std::vector<PendingConf> pending_confs_;
-  std::uint64_t batches_admitted_ = 0;
-  std::uint64_t batches_rejected_ = 0;
+  obs::Counter batches_admitted_;
+  obs::Counter batches_rejected_;
 };
 
 }  // namespace bla::rsm

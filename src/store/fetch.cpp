@@ -16,7 +16,26 @@ constexpr std::size_t kMaxPending = std::size_t{1} << 12;
 
 BodyFetcher::BodyFetcher(Config config, std::shared_ptr<BodyStore> store,
                          SendFn send)
-    : config_(config), store_(std::move(store)), send_(std::move(send)) {}
+    : config_(std::move(config)),
+      store_(std::move(store)),
+      send_(std::move(send)),
+      registry_(config_.registry ? config_.registry
+                                 : std::make_shared<obs::Registry>()) {
+  const std::string p = "node" + std::to_string(config_.self) + "/fetch/";
+  stats_.fetches_sent = registry_->counter(p + "fetches_sent");
+  stats_.replies_served = registry_->counter(p + "replies_served");
+  stats_.bodies_fetched = registry_->counter(p + "bodies_fetched");
+  stats_.not_found_replies = registry_->counter(p + "not_found_replies");
+  stats_.garbage_replies = registry_->counter(p + "garbage_replies");
+  stats_.rotations = registry_->counter(p + "rotations");
+  // Warning class: an exhausted rotation or a shed thunk is a liveness
+  // hazard the stall watchdog (Registry::health) must surface.
+  stats_.exhausted = registry_->counter(p + "exhausted", /*warning=*/true);
+  stats_.dedup_hits = registry_->counter(p + "dedup_hits");
+  stats_.parked = registry_->counter(p + "parked");
+  stats_.parked_dropped =
+      registry_->counter(p + "parked_dropped", /*warning=*/true);
+}
 
 void BodyFetcher::add_candidates(FetchState& state,
                                  const std::vector<NodeId>& hints) {
@@ -55,6 +74,8 @@ void BodyFetcher::pump(const Digest& digest, FetchState& state) {
     // Every candidate failed. Go dormant; a future reference to the
     // same digest re-arms the rotation (await -> arm).
     ++stats_.exhausted;
+    registry_->trace_event(config_.self, obs::EventKind::kWarnFetchExhausted,
+                           obs::id64(digest));
   }
 }
 
@@ -66,6 +87,8 @@ bool BodyFetcher::arm(const Digest& digest,
       return false;  // Byzantine flood
     }
     it = fetches_.try_emplace(digest).first;
+    registry_->trace_event(config_.self, obs::EventKind::kFetchMiss,
+                           obs::id64(digest));
   }
   FetchState& state = it->second;
   add_candidates(state, hints);
@@ -121,6 +144,7 @@ void BodyFetcher::await(const std::vector<Digest>& missing,
     // refusing the newest, so honest frames arriving after a flood
     // still get their slot while the junk ages out.
     ++stats_.parked_dropped;
+    registry_->trace_event(config_.self, obs::EventKind::kWarnParkShed);
     pending_.pop_front();
   }
   for (const Digest& d : pending.missing) {
@@ -128,10 +152,15 @@ void BodyFetcher::await(const std::vector<Digest>& missing,
       // Fetch-state cap hit: nothing will ever wake this thunk, so
       // shed it (counted) instead of parking it to rot.
       ++stats_.parked_dropped;
+      registry_->trace_event(config_.self, obs::EventKind::kWarnParkShed,
+                             obs::id64(d));
       return;
     }
   }
   ++stats_.parked;
+  registry_->trace_event(config_.self, obs::EventKind::kFetchPark,
+                         obs::id64(*pending.missing.begin()),
+                         pending.missing.size());
   pending_.push_back(std::move(pending));
 }
 
@@ -208,6 +237,8 @@ void BodyFetcher::on_reply(NodeId from, wire::Decoder& dec) {
         body_digest(body) == d) {
       store_->put_trusted(d, std::move(body));
       ++stats_.bodies_fetched;
+      registry_->trace_event(config_.self, obs::EventKind::kFetchResolve,
+                             obs::id64(d));
       fetches_.erase(it);
       resolve(d);
       continue;

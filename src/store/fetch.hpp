@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "net/process.hpp"
+#include "obs/registry.hpp"
 #include "store/body_store.hpp"
 #include "wire/wire.hpp"
 
@@ -71,19 +72,27 @@ public:
     /// replies keep the rotation moving. 1 is fine for trusted-peer or
     /// unit-test use.
     std::size_t fanout = 1;
+    /// Observability registry the fetcher registers its counters in
+    /// (prefixed "node<self>/fetch/") and records trace events through.
+    /// Created internally when null, so per-instance stats stay exact
+    /// when nobody wires one up.
+    std::shared_ptr<obs::Registry> registry;
   };
 
+  /// Counter views over the registry — same field names and integral
+  /// reads as the former plain-uint64 struct, so existing accessors and
+  /// test assertions work unchanged.
   struct Stats {
-    std::uint64_t fetches_sent = 0;     // kFetchBody frames emitted
-    std::uint64_t replies_served = 0;   // kBodyReply frames answered
-    std::uint64_t bodies_fetched = 0;   // digests resolved via the wire
-    std::uint64_t not_found_replies = 0;
-    std::uint64_t garbage_replies = 0;  // body failed the digest re-hash
-    std::uint64_t rotations = 0;        // candidate advances after failure
-    std::uint64_t exhausted = 0;        // rotations that ran out of peers
-    std::uint64_t dedup_hits = 0;       // await() joins an in-flight fetch
-    std::uint64_t parked = 0;           // thunks parked awaiting bodies
-    std::uint64_t parked_dropped = 0;   // parked-queue cap overflow
+    obs::Counter fetches_sent;      // kFetchBody frames emitted
+    obs::Counter replies_served;    // kBodyReply frames answered
+    obs::Counter bodies_fetched;    // digests resolved via the wire
+    obs::Counter not_found_replies;
+    obs::Counter garbage_replies;   // body failed the digest re-hash
+    obs::Counter rotations;         // candidate advances after failure
+    obs::Counter exhausted;         // rotations that ran out of peers
+    obs::Counter dedup_hits;        // await() joins an in-flight fetch
+    obs::Counter parked;            // thunks parked awaiting bodies
+    obs::Counter parked_dropped;    // parked-queue cap overflow
   };
 
   using SendFn = std::function<void(NodeId to, wire::Bytes payload)>;
@@ -151,6 +160,7 @@ private:
   Config config_;
   std::shared_ptr<BodyStore> store_;
   SendFn send_;
+  std::shared_ptr<obs::Registry> registry_;
   std::map<Digest, FetchState> fetches_;
   std::deque<Pending> pending_;
   Stats stats_;

@@ -18,6 +18,7 @@ BatchRsmScenario::BatchRsmScenario(BatchRsmScenarioOptions options)
   net::SimNetwork::Config cfg;
   cfg.seed = options_.seed;
   cfg.delay = std::move(options_.delay);
+  cfg.registry = options_.registry;
   net_ = std::make_unique<net::SimNetwork>(std::move(cfg));
 
   for (net::NodeId id = 0; id < options_.n; ++id) {
@@ -40,6 +41,7 @@ BatchRsmScenario::BatchRsmScenario(BatchRsmScenarioOptions options)
     rc.signer = signers_->signer_for(id);
     rc.digest_refs = options_.digest_refs;
     rc.digest_decide_notifications = options_.digest_refs;
+    rc.registry = options_.registry;
     auto replica = std::make_unique<rsm::RsmReplica>(rc);
     replicas_.push_back(replica.get());
     net_->add_process(std::move(replica));
@@ -68,6 +70,7 @@ BatchRsmScenario::BatchRsmScenario(BatchRsmScenarioOptions options)
     cc.f = options_.f;
     cc.builder.max_commands = options_.batch_size;
     cc.max_in_flight = options_.max_in_flight;
+    cc.registry = options_.registry;
     auto client = std::make_unique<batch::BatchClient>(
         cc, signers_->signer_for(id), std::move(commands));
     clients_.push_back(client.get());

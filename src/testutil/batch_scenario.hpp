@@ -31,6 +31,13 @@ struct BatchRsmScenarioOptions : ScenarioOptions {
   /// notifications — every client here is a BatchClient, which matches
   /// digests). false = full-frame baseline for the bytes/command bench.
   bool digest_refs = true;
+  /// Shared observability registry. When set, it is wired into the
+  /// simulator (which drives its clock with simulated time), every
+  /// correct replica, and every client — so the command-lifecycle
+  /// histograms (seal → RBC deliver → decide → execute → confirm) span
+  /// the whole system. Null keeps the pre-obs behaviour: each component
+  /// uses a private registry and lifecycle tracking stays off.
+  std::shared_ptr<obs::Registry> registry;
 };
 
 class BatchRsmScenario {
