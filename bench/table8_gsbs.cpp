@@ -45,7 +45,11 @@ Result run_gsbs(std::size_t n, std::size_t f, std::uint64_t rounds) {
   Result r;
   std::vector<core::ValueSet> all;
   for (const auto* proc : correct) {
-    r.live = r.live && proc->decisions().size() >= rounds;
+    // Engines record only set-growing decisions, so count completed
+    // rounds (the round budget must be exhausted) plus at least one
+    // recorded decision, not one record per round.
+    r.live = r.live && proc->current_round() >= rounds &&
+             !proc->decisions().empty();
     for (const auto& d : proc->decisions()) all.push_back(d.set);
   }
   r.safe = testutil::check_comparability(all).empty();

@@ -22,7 +22,7 @@ BatchClient::BatchClient(Config config,
                                 : std::make_shared<obs::Registry>()),
       builder_(with_proposer(config.builder, config.self), std::move(signer)),
       pipeline_(BatchProposer::Config{config.max_in_flight, config.f + 1,
-                                      config.self, registry_}),
+                                      config.self, registry_, config.retry}),
       queue_(commands.begin(), commands.end()),
       total_commands_(commands.size()) {
   if (!config.registry) registry_->lifecycle().set_enabled(false);
@@ -33,6 +33,28 @@ void BatchClient::on_start(net::IContext& ctx) {
                          total_commands_);
   pump(ctx);
   maybe_finish(ctx);
+  if (config_.retry.enabled && !done()) {
+    ctx.schedule(config_.retry.tick, 0);
+  }
+}
+
+void BatchClient::on_timer(net::IContext& ctx, std::uint64_t token) {
+  (void)token;
+  // Letting the chain end at done() is what lets simulations quiesce
+  // with retry enabled.
+  if (!config_.retry.enabled || done()) return;
+  for (BatchProposer::Retransmit& rt : pipeline_.due(ctx.now())) {
+    // Widen the contact set by one replica per attempt: the original
+    // f+1 may all sit behind a partition or include a crashed replica.
+    const auto fanout = static_cast<NodeId>(
+        std::min(config_.n, config_.f + rt.attempts));
+    for (NodeId replica = 0; replica < fanout; ++replica) {
+      ctx.send(replica, rt.frame);
+    }
+  }
+  pump(ctx);          // give-ups may have freed window slots
+  maybe_finish(ctx);  // ...or drained the pipeline entirely
+  if (!done()) ctx.schedule(config_.retry.tick, 0);
 }
 
 void BatchClient::maybe_finish(net::IContext& ctx) {
@@ -96,10 +118,16 @@ void BatchClient::pump(net::IContext& ctx) {
 }
 
 void BatchClient::submit(net::IContext& ctx, const SignedCommandBatch& b) {
-  pipeline_.mark_submitted(b);
   wire::Encoder enc;
   enc.u8(static_cast<std::uint8_t>(core::MsgType::kRsmNewBatch));
   encode_signed_batch(enc, b);
+  // The frame is retained by the window only when retry is on — it is
+  // the retransmission payload.
+  pipeline_.mark_submitted(b, ctx.now(),
+                           config_.retry.enabled
+                               ? wire::Bytes(enc.view().begin(),
+                                             enc.view().end())
+                               : wire::Bytes{});
   // Alg. 5 line 3, batched: f+1 replicas, so at least one correct replica
   // proposes the batch.
   for (NodeId replica = 0;

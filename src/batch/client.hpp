@@ -11,9 +11,17 @@
 // beyond the window wait in the builder — that is the end-to-end
 // backpressure the RSM applies to a too-fast client.
 //
-// The client never needs retransmission: links are reliable, at least one
-// of the f+1 contacted replicas is correct, and the engines' Inclusivity
+// On reliable links the client needs no retransmission: at least one of
+// the f+1 contacted replicas is correct, and the engines' Inclusivity
 // guarantees every submitted value eventually joins the decided chain.
+// Under the src/fault injection layer (lossy links, partitions, crashed
+// replicas) that premise breaks, so the client carries an opt-in
+// deadline-based retry loop (RetryPolicy): batches past their completion
+// deadline are re-sent with exponential backoff to a contact set that
+// widens by one replica per attempt, and a batch that exhausts its
+// attempt budget is abandoned *loudly* — the pipeline drains, done()
+// still turns true, and the loss is surfaced through
+// pipeline().commands_failed() instead of a silent hang.
 
 #include <atomic>
 #include <cstdint>
@@ -41,6 +49,9 @@ public:
     /// confirm lifecycle marks, submit trace events). Created internally
     /// when null.
     std::shared_ptr<obs::Registry> registry;
+    /// Deadline-based retransmission (see batch::RetryPolicy). Default
+    /// off; enable when the transport may lose frames.
+    RetryPolicy retry;
   };
 
   BatchClient(Config config, std::shared_ptr<const crypto::ISigner> signer,
@@ -49,13 +60,17 @@ public:
   void on_start(net::IContext& ctx) override;
   void on_message(net::IContext& ctx, NodeId from,
                   wire::BytesView payload) override;
+  /// Retry tick (armed only when config.retry.enabled): retransmits
+  /// overdue batches and stops re-arming once done().
+  void on_timer(net::IContext& ctx, std::uint64_t token) override;
 
   /// Every *accepted* command durably decided and the pipeline drained.
   /// Commands the builder refused (empty, batch-framed, oversized — see
-  /// commands_dropped()) are excluded from the guarantee; callers that
-  /// must not lose commands check commands_dropped() == 0 alongside
-  /// done(). Readable from another thread (the thread-network bench
-  /// polls it).
+  /// commands_dropped()) are excluded from the guarantee, as are
+  /// commands in batches abandoned after exhausting their retry budget
+  /// (pipeline().commands_failed()); callers that must not lose commands
+  /// check both are zero alongside done(). Readable from another thread
+  /// (the thread-network bench polls it).
   [[nodiscard]] bool done() const {
     return done_.load(std::memory_order_acquire);
   }

@@ -25,8 +25,31 @@
 #include "crypto/sha256.hpp"
 #include "lattice/set_lattice.hpp"
 #include "obs/registry.hpp"
+#include "wire/wire.hpp"
 
 namespace bla::batch {
+
+/// Opt-in deadline-based retransmission for in-flight batches (the
+/// client-level leg of the src/fault recovery story). A batch that has
+/// not completed within `deadline` is re-sent, with the deadline growing
+/// by `backoff` per attempt; after `max_attempts` total sends the batch
+/// is *abandoned* — erased from the window so the pipeline drains, with
+/// the loss surfaced through commands_failed() / batches_abandoned()
+/// rather than silently hanging the client. Default OFF: on reliable
+/// links retransmission is pure overhead, and resilience tests run to
+/// quiescence.
+struct RetryPolicy {
+  bool enabled = false;
+  /// Time a batch may stay in flight before its first retransmission
+  /// (time units of the hosting runtime's now()).
+  double deadline = 16.0;
+  /// Deadline multiplier per retransmission.
+  double backoff = 2.0;
+  /// Total send attempts (including the first) before giving up.
+  std::size_t max_attempts = 6;
+  /// Client timer period.
+  double tick = 4.0;
+};
 
 class BatchProposer {
 public:
@@ -45,6 +68,8 @@ public:
     /// "node<self>/batch/*" counters. Created internally when null
     /// (with lifecycle tracking disabled — see rsm::ReplicaConfig).
     std::shared_ptr<obs::Registry> registry;
+    /// Deadline-based retransmission (see RetryPolicy). Default off.
+    RetryPolicy retry;
   };
 
   explicit BatchProposer(Config config)
@@ -56,6 +81,9 @@ public:
         "node" + std::to_string(config_.self) + "/batch/";
     obs_batches_completed_ = registry_->counter(p + "batches_completed");
     obs_commands_completed_ = registry_->counter(p + "commands_completed");
+    obs_retransmits_ = registry_->counter(p + "retransmits");
+    obs_batches_abandoned_ =
+        registry_->counter(p + "batches_abandoned", /*warning=*/true);
   }
 
   [[nodiscard]] bool can_submit() const {
@@ -65,19 +93,72 @@ public:
   /// Registers a sealed batch as in flight. Call only when can_submit().
   /// Opens the batch's lifecycle timeline at Stage::kSeal — the batch
   /// value digest is the key every later stage (RBC deliver, decide,
-  /// execute, confirm) marks against.
-  void mark_submitted(const SignedCommandBatch& b) {
+  /// execute, confirm) marks against. When retry is enabled the caller
+  /// passes the encoded kRsmNewBatch frame (retained for retransmission)
+  /// and the current time (arms the completion deadline).
+  void mark_submitted(const SignedCommandBatch& b, double now = 0.0,
+                      wire::Bytes frame = {}) {
     InFlight entry;
     entry.value = batch_value(b);
     entry.digest =
         crypto::Sha256::hash(std::span(entry.value.data(), entry.value.size()));
     entry.command_count = b.commands.size();
+    entry.frame = std::move(frame);
+    entry.deadline = now + config_.retry.deadline;
+    entry.backoff_interval = config_.retry.deadline;
     registry_->lifecycle().mark(entry.digest, obs::Stage::kSeal,
                                 config_.self);
     registry_->trace_event(config_.self, obs::EventKind::kBatchSeal,
                            obs::id64(entry.digest), entry.command_count);
     in_flight_.emplace(b.seq, std::move(entry));
     max_in_flight_seen_ = std::max(max_in_flight_seen_, in_flight_.size());
+  }
+
+  /// One batch due for retransmission: its retained frame plus the
+  /// attempt count *after* this send (the client widens its contact set
+  /// with each attempt).
+  struct Retransmit {
+    std::uint64_t seq = 0;
+    wire::Bytes frame;
+    std::size_t attempts = 0;
+  };
+
+  /// Sweeps the window at `now` (retry must be enabled): batches past
+  /// their deadline are returned for retransmission with their deadline
+  /// backed off; batches whose attempt budget is spent are abandoned —
+  /// erased from the window so the pipeline keeps draining — and tallied
+  /// in batches_abandoned()/commands_failed(). Callers that must not
+  /// lose commands check commands_failed() == 0 once done.
+  std::vector<Retransmit> due(double now) {
+    std::vector<Retransmit> out;
+    for (auto it = in_flight_.begin(); it != in_flight_.end();) {
+      InFlight& entry = it->second;
+      if (now < entry.deadline) {
+        ++it;
+        continue;
+      }
+      if (entry.attempts >= config_.retry.max_attempts) {
+        batches_abandoned_ += 1;
+        commands_failed_ += entry.command_count;
+        obs_batches_abandoned_.inc();
+        registry_->trace_event(config_.self,
+                               obs::EventKind::kWarnBatchGiveUp,
+                               obs::id64(entry.digest), entry.command_count);
+        it = in_flight_.erase(it);
+        continue;
+      }
+      entry.attempts += 1;
+      // deadline * backoff^(attempts-1) without pow(): the stored
+      // deadline interval doubles (by `backoff`) each sweep.
+      entry.backoff_interval *= config_.retry.backoff;
+      entry.deadline = now + entry.backoff_interval;
+      obs_retransmits_.inc();
+      registry_->trace_event(config_.self, obs::EventKind::kBatchRetransmit,
+                             obs::id64(entry.digest), entry.attempts);
+      out.push_back({it->first, entry.frame, entry.attempts});
+      ++it;
+    }
+    return out;
   }
 
   /// Feeds one replica's decide report; returns the seqs of batches that
@@ -111,6 +192,15 @@ public:
   [[nodiscard]] std::uint64_t commands_completed() const {
     return commands_completed_;
   }
+  /// Batches erased from the window after exhausting their retry budget.
+  [[nodiscard]] std::uint64_t batches_abandoned() const {
+    return batches_abandoned_;
+  }
+  /// Commands in abandoned batches — the client's delivery guarantee
+  /// does NOT cover these; callers surface them to the application.
+  [[nodiscard]] std::uint64_t commands_failed() const {
+    return commands_failed_;
+  }
 
 private:
   struct InFlight {
@@ -118,6 +208,11 @@ private:
     crypto::Sha256::Digest digest{};  // sha256(value), for digest reports
     std::size_t command_count = 0;
     std::set<NodeId> reporters;
+    // Retransmission state (populated only when retry is enabled).
+    wire::Bytes frame;         // encoded kRsmNewBatch frame
+    std::size_t attempts = 1;  // sends so far (the submit was the first)
+    double deadline = 0.0;     // next retransmit time
+    double backoff_interval = 0.0;  // current deadline interval
   };
 
   template <typename Pred>
@@ -154,10 +249,14 @@ private:
   std::shared_ptr<obs::Registry> registry_;
   obs::Counter obs_batches_completed_;
   obs::Counter obs_commands_completed_;
+  obs::Counter obs_retransmits_;
+  obs::Counter obs_batches_abandoned_;
   std::map<std::uint64_t, InFlight> in_flight_;  // by batch seq
   std::size_t max_in_flight_seen_ = 0;
   std::uint64_t batches_completed_ = 0;
   std::uint64_t commands_completed_ = 0;
+  std::uint64_t batches_abandoned_ = 0;
+  std::uint64_t commands_failed_ = 0;
 };
 
 }  // namespace bla::batch

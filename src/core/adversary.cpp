@@ -1,5 +1,7 @@
 #include "core/adversary.hpp"
 
+#include <algorithm>
+
 #include "crypto/sha256.hpp"
 #include "lattice/value.hpp"
 #include "rbc/bracha.hpp"
@@ -213,6 +215,90 @@ void GarbageSpammer::on_start(net::IContext& ctx) { spray(ctx); }
 void GarbageSpammer::on_message(net::IContext& ctx, NodeId,
                                 wire::BytesView) {
   spray(ctx);
+}
+
+// ---------------------------------------------------------------------------
+// ReplayAttacker.
+// ---------------------------------------------------------------------------
+
+std::uint64_t ReplayAttacker::next() {
+  state_ ^= state_ << 13;
+  state_ ^= state_ >> 7;
+  state_ ^= state_ << 17;
+  return state_;
+}
+
+void ReplayAttacker::on_message(net::IContext& ctx, NodeId,
+                                wire::BytesView payload) {
+  constexpr std::size_t kRingSize = 32;
+  if (ring_.size() < kRingSize) {
+    ring_.emplace_back(payload.begin(), payload.end());
+  } else {
+    ring_[ring_next_] = wire::Bytes(payload.begin(), payload.end());
+    ring_next_ = (ring_next_ + 1) % kRingSize;
+  }
+  if (budget_ == 0 || ring_.empty() || n_ == 0) return;
+  --budget_;
+  // Replay a past frame to a random peer; occasionally the one we just
+  // stored (an immediate duplicate, the most common real-world replay).
+  const wire::Bytes& frame = ring_[next() % ring_.size()];
+  ctx.send(static_cast<NodeId>(next() % n_), frame);
+}
+
+// ---------------------------------------------------------------------------
+// WithholdingProcess.
+// ---------------------------------------------------------------------------
+
+class WithholdingProcess::FilterContext final : public net::IContext {
+public:
+  FilterContext(net::IContext& inner, const std::vector<NodeId>& victims)
+      : inner_(inner), victims_(victims) {}
+
+  void send(NodeId to, wire::Bytes payload) override {
+    if (withheld(to)) return;
+    inner_.send(to, std::move(payload));
+  }
+  void broadcast(wire::Bytes payload) override {
+    // Expand to per-link sends so the victim filter applies; self keeps
+    // its copy (local state must stay coherent).
+    const std::size_t n = inner_.node_count();
+    for (NodeId to = 0; to < n; ++to) {
+      if (to != inner_.self() && withheld(to)) continue;
+      inner_.send(to, payload);
+    }
+  }
+  [[nodiscard]] NodeId self() const override { return inner_.self(); }
+  [[nodiscard]] std::size_t node_count() const override {
+    return inner_.node_count();
+  }
+  [[nodiscard]] double now() const override { return inner_.now(); }
+  void schedule(double delay, std::uint64_t token) override {
+    inner_.schedule(delay, token);
+  }
+
+private:
+  [[nodiscard]] bool withheld(NodeId to) const {
+    return std::find(victims_.begin(), victims_.end(), to) != victims_.end();
+  }
+
+  net::IContext& inner_;
+  const std::vector<NodeId>& victims_;
+};
+
+void WithholdingProcess::on_start(net::IContext& ctx) {
+  FilterContext filtered(ctx, victims_);
+  inner_->on_start(filtered);
+}
+
+void WithholdingProcess::on_message(net::IContext& ctx, NodeId from,
+                                    wire::BytesView payload) {
+  FilterContext filtered(ctx, victims_);
+  inner_->on_message(filtered, from, payload);
+}
+
+void WithholdingProcess::on_timer(net::IContext& ctx, std::uint64_t token) {
+  FilterContext filtered(ctx, victims_);
+  inner_->on_timer(filtered, token);
 }
 
 }  // namespace bla::core

@@ -131,4 +131,56 @@ private:
   std::uint64_t budget_;
 };
 
+/// Replays verbatim copies of frames it received earlier, to random
+/// peers, on every delivery. Stale protocol frames arriving out of any
+/// legitimate order are exactly what every "idempotent at receivers"
+/// claim in the recovery layer must survive — and unlike GarbageSpammer's
+/// noise, these frames decode successfully and reach handler logic.
+/// Cannot spoof senders (authenticated channels), so a replayed frame
+/// arrives under the adversary's own identity.
+class ReplayAttacker final : public net::IProcess {
+public:
+  explicit ReplayAttacker(std::uint64_t seed, std::size_t n,
+                          std::uint64_t max_messages = 256)
+      : state_(seed == 0 ? 1 : seed), n_(n), budget_(max_messages) {}
+
+  void on_start(net::IContext&) override {}
+  void on_message(net::IContext& ctx, NodeId from,
+                  wire::BytesView payload) override;
+
+private:
+  std::uint64_t next();
+
+  std::uint64_t state_;
+  std::size_t n_;
+  std::uint64_t budget_;
+  // Ring of recently delivered frames (replay material).
+  std::vector<wire::Bytes> ring_;
+  std::size_t ring_next_ = 0;
+};
+
+/// Withholding adversary: runs a *correct* inner process but silently
+/// drops its outbound traffic to a chosen subset of peers. The victim
+/// set sees a crashed process while everyone else sees a live one —
+/// the classic two-faced fault that pure crash models miss. (Inbound is
+/// untouched: the inner process keeps its state fresh, making the
+/// split-view maximally convincing.)
+class WithholdingProcess final : public net::IProcess {
+public:
+  WithholdingProcess(std::unique_ptr<net::IProcess> inner,
+                     std::vector<NodeId> victims)
+      : inner_(std::move(inner)), victims_(std::move(victims)) {}
+
+  void on_start(net::IContext& ctx) override;
+  void on_message(net::IContext& ctx, NodeId from,
+                  wire::BytesView payload) override;
+  void on_timer(net::IContext& ctx, std::uint64_t token) override;
+
+private:
+  class FilterContext;
+
+  std::unique_ptr<net::IProcess> inner_;
+  std::vector<NodeId> victims_;
+};
+
 }  // namespace bla::core

@@ -43,9 +43,33 @@ static_assert(max_faulty(4) == 1);
 static_assert(max_faulty(7) == 2);
 static_assert(max_faulty(10) == 3);
 
+/// Opt-in recovery for lossy links (the src/fault injection layer, and
+/// eventually real sockets — ROADMAP item 2). When enabled, an engine
+/// arms a periodic timer and, after `stall_after` time units without
+/// protocol progress, re-sends its current phase frame, runs Bracha
+/// vote-request anti-entropy, and re-arms dormant body fetches. Default
+/// OFF: on the reliable in-process runtimes recovery is pure overhead,
+/// and resilience tests deliberately run *to quiescence* with no
+/// decision — an always-re-arming timer would keep the simulator alive
+/// forever. Recovery never changes what may be decided (every re-send
+/// is idempotent at receivers); it only re-offers lost frames, so §3's
+/// reliable-link safety arguments are untouched.
+struct RecoveryConfig {
+  bool enabled = false;
+  /// Timer period (time units of the hosting runtime's now()).
+  double tick = 8.0;
+  /// Re-send only after this long without observed progress.
+  double stall_after = 16.0;
+  /// Lifetime cap on stall-triggered re-sends (per engine).
+  std::size_t max_resends = 256;
+  /// GWTS acceptor: cap on fresh-tag ack re-broadcasts per (set, round).
+  std::size_t max_reacks = 8;
+};
+
 /// Top-level message-type bytes. The first byte of every frame; RBC owns
-/// 1..3 (see rbc/bracha.hpp) and the body-pull protocol owns 4..5
-/// (kFetchBody/kBodyReply, see store/fetch.hpp).
+/// 1..3 plus the anti-entropy vote request 6 (see rbc/bracha.hpp) and
+/// the body-pull protocol owns 4..5 (kFetchBody/kBodyReply, see
+/// store/fetch.hpp).
 enum class MsgType : std::uint8_t {
   // Payload types carried *inside* RBC deliveries.
   kDisclosure = 20,    // WTS/GWTS value disclosure

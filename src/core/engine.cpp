@@ -15,7 +15,8 @@ std::unique_ptr<IAgreementEngine> make_engine(
     case EngineKind::kGwts:
       return std::make_unique<GwtsProcess>(
           GwtsConfig{config.self, config.n, config.f, config.max_rounds,
-                     config.digest_refs, config.store, config.registry},
+                     config.digest_refs, config.store, config.registry,
+                     config.recovery},
           std::move(on_decide));
     case EngineKind::kGsbs:
       if (!signer) {
@@ -23,7 +24,8 @@ std::unique_ptr<IAgreementEngine> make_engine(
       }
       return std::make_unique<GsbsProcess>(
           GsbsConfig{config.self, config.n, config.f, config.max_rounds,
-                     config.digest_refs, config.store, config.registry},
+                     config.digest_refs, config.store, config.registry,
+                     config.recovery},
           std::move(signer), std::move(on_decide));
   }
   throw std::invalid_argument("unknown engine kind");

@@ -80,6 +80,8 @@ struct EngineConfig {
   /// Observability registry threaded down to the engine (and through it
   /// to RBC / fetcher). Engines create a private one when null.
   std::shared_ptr<obs::Registry> registry;
+  /// Opt-in lossy-link recovery (see core::RecoveryConfig). Default off.
+  RecoveryConfig recovery;
 };
 
 /// Builds an engine. `signer` is required for kGsbs (its protocol signs

@@ -206,7 +206,8 @@ GsbsProcess::GsbsProcess(GsbsConfig config,
       fetcher_(std::make_unique<store::BodyFetcher>(
           store::BodyFetcher::Config{config_.self, config_.n,
                                      lattice::kMaxValueBytes,
-                                     /*fanout=*/config_.f + 1, registry_},
+                                     /*fanout=*/config_.f + 1,
+                                     /*max_auto_rearms=*/4, registry_},
           store_,
           [this](NodeId to, wire::Bytes b) { ctx_->send(to, std::move(b)); })) {
   const std::string p = "node" + std::to_string(config_.self) + "/gsbs/";
@@ -214,6 +215,7 @@ GsbsProcess::GsbsProcess(GsbsConfig config,
   obs_decisions_ = registry_->counter(p + "decisions");
   obs_refinements_ = registry_->counter(p + "refinements");
   obs_sig_checks_ = registry_->counter(p + "sig_checks");
+  obs_retries_ = registry_->counter(p + "retries");
 }
 
 void GsbsProcess::submit(Value value) {
@@ -361,8 +363,90 @@ bool GsbsProcess::verify_cert(const DecidedCert& cert) const {
 void GsbsProcess::on_start(net::IContext& ctx) {
   ctx_ = &ctx;
   started_ = true;
+  if (config_.recovery.enabled) {
+    last_progress_ = ctx.now();
+    ctx.schedule(config_.recovery.tick, 0);
+  }
   start_round();
   ctx_ = nullptr;
+}
+
+void GsbsProcess::on_timer(net::IContext& ctx, std::uint64_t token) {
+  (void)token;
+  // Letting the chain end (no re-schedule) once stopped — or once the
+  // retry budget is spent on a permanently wedged run — is what lets
+  // simulations quiesce with recovery enabled.
+  if (!config_.recovery.enabled || state_ == State::kStopped ||
+      resends_ >= config_.recovery.max_resends) {
+    return;
+  }
+  ctx_ = &ctx;
+  if (ctx.now() - last_progress_ >= config_.recovery.stall_after) {
+    recover_stall();
+    last_progress_ = ctx.now();
+  }
+  ctx.schedule(config_.recovery.tick, 0);
+  ctx_ = nullptr;
+}
+
+void GsbsProcess::note_progress() {
+  // Only *genuinely new* information resets the stall clock — a peer's
+  // stall-triggered re-send carrying nothing new must not suppress our
+  // own recovery, or two mutually-wedged processes starve forever.
+  if (config_.recovery.enabled && ctx_ != nullptr) {
+    last_progress_ = ctx_->now();
+  }
+}
+
+void GsbsProcess::recover_stall() {
+  if (resends_ >= config_.recovery.max_resends) return;
+  ++resends_;
+  obs_retries_.inc();
+  registry_->trace_event(config_.self, obs::EventKind::kEngineRetry, round_,
+                         static_cast<std::uint64_t>(state_));
+  // Re-offer any body pulls that exhausted their hint list while the
+  // link was lossy.
+  fetcher_->retry_exhausted();
+  switch (state_) {
+    case State::kInit: {
+      // Re-broadcast our signed INIT batch. batches_[round_] is frozen
+      // once the round started (submit() targets round_+1), and
+      // receivers dedupe by (signer, round, batch) in index_batch, so
+      // the re-send is idempotent even if the signature bytes differ.
+      SignedBatch sb;
+      sb.signer = config_.self;
+      sb.round = round_;
+      sb.batch = batches_[round_];
+      sb.signature = signer_->sign(batch_signing_bytes(sb));
+      wire::Encoder enc;
+      enc.u8(static_cast<std::uint8_t>(MsgType::kGsbsInit));
+      encode_signed_batch(enc, sb, Codec{store_.get(), false});
+      ctx_->broadcast(enc.take());
+      break;
+    }
+    case State::kSafetying: {
+      // Re-send the safe-req with the frozen snapshot. Acceptors answer
+      // every safe-req; our on_safe_ack dedupes by acceptor.
+      wire::Encoder enc;
+      enc.u8(static_cast<std::uint8_t>(MsgType::kGsbsSafeReq));
+      enc.u64(round_);
+      enc.uvarint(safety_snapshot_.size());
+      for (const SignedBatch& sb : safety_snapshot_) {
+        encode_signed_batch(enc, sb,
+                            Codec{store_.get(), config_.digest_refs});
+      }
+      ctx_->broadcast(enc.take());
+      break;
+    }
+    case State::kProposing:
+      // Re-send the ack-req. Acceptors re-ack (accepted_ is already a
+      // superset match) and piggyback any certificate ending the round,
+      // which is exactly the catch-up path §8.2 prescribes.
+      send_ack_req();
+      break;
+    case State::kStopped:
+      break;
+  }
 }
 
 void GsbsProcess::start_round() {
@@ -372,6 +456,7 @@ void GsbsProcess::start_round() {
   }
   state_ = State::kInit;
   obs_rounds_.inc();
+  note_progress();
   safe_acks_.clear();
   safety_snapshot_.clear();
 
@@ -397,6 +482,7 @@ void GsbsProcess::maybe_enter_safetying() {
   std::vector<SignedBatch> safety_set = conflict_free(init_seen_[round_]);
   if (safety_set.size() < disclosure_threshold(config_.n, config_.f)) return;
   state_ = State::kSafetying;
+  note_progress();
   std::sort(safety_set.begin(), safety_set.end());
   safety_snapshot_ = std::move(safety_set);
 
@@ -412,6 +498,7 @@ void GsbsProcess::maybe_enter_safetying() {
 
 void GsbsProcess::enter_proposing() {
   state_ = State::kProposing;
+  note_progress();
   std::vector<BatchSafeAck> proof;
   proof.reserve(safe_acks_.size());
   for (const auto& [acceptor, ack] : safe_acks_) proof.push_back(ack);
@@ -466,31 +553,45 @@ void GsbsProcess::broadcast_cert_and_decide(DecidedCert cert) {
   record_committed(decision);
   advance_trust();
 
+  // As in GWTS, only set-growing decisions are recorded and notified —
+  // idle rounds re-deciding the same cumulative set would otherwise cost
+  // a full set copy plus client notifications per round.
+  const bool grew = decided_set_ != decision;
   decided_set_ = decision;
-  decisions_.push_back({decided_set_, round, ctx_->now()});
-  obs_decisions_.inc();
-  registry_->trace_event(config_.self, obs::EventKind::kDecide, round,
-                         decided_set_.size());
-  if (on_decide_) on_decide_(decisions_.back());
+  if (grew) {
+    decisions_.push_back({decided_set_, round, ctx_->now()});
+    obs_decisions_.inc();
+    registry_->trace_event(config_.self, obs::EventKind::kDecide, round,
+                           decided_set_.size());
+    if (on_decide_) on_decide_(decisions_.back());
+  }
   round_ += 1;
   start_round();
 }
 
 void GsbsProcess::adopt_cert(const DecidedCert& cert) {
   // The GWTS rule transplanted: any legitimately ended round we are
-  // currently proposing in can be decided, if Local Stability allows.
-  if (state_ != State::kProposing || cert.round != round_) return;
+  // currently *in* can be decided, if Local Stability allows. Adoption is
+  // legal from every live phase, not just kProposing — a replica that was
+  // crashed/partitioned through a round may still sit in kInit or
+  // kSafetying when the certificate ending that round reaches it, and
+  // waiting for its own proposal to form would wedge it forever (peers
+  // will not re-run a round they already ended).
+  if (state_ == State::kStopped || cert.round != round_) return;
   const ValueSet union_set = proposal_union(cert.proposal);
   if (!decided_set_.leq(union_set)) return;
   for (const ProvenBatch& pb : cert.proposal) {
     proposed_.emplace(pb.sb, pb.proof);
   }
+  const bool grew = decided_set_ != union_set;
   decided_set_ = union_set;
-  decisions_.push_back({decided_set_, round_, ctx_->now()});
-  obs_decisions_.inc();
-  registry_->trace_event(config_.self, obs::EventKind::kDecide, round_,
-                         decided_set_.size());
-  if (on_decide_) on_decide_(decisions_.back());
+  if (grew) {
+    decisions_.push_back({decided_set_, round_, ctx_->now()});
+    obs_decisions_.inc();
+    registry_->trace_event(config_.self, obs::EventKind::kDecide, round_,
+                           decided_set_.size());
+    if (on_decide_) on_decide_(decisions_.back());
+  }
   round_ += 1;
   start_round();
 }
@@ -615,6 +716,15 @@ void GsbsProcess::on_init(NodeId from, wire::Decoder& dec,
   if (!verify_signed_batch(sb)) return;
   index_batch(init_seen_[sb.round], sb);
   if (sb.round == round_) maybe_enter_safetying();
+  // §8.2 catch-up: an INIT lagging two or more rounds behind us marks a
+  // wedged proposer (stall recovery re-broadcasts INIT; a crashed or
+  // partitioned replica misses whole rounds). Hand back the certificate
+  // that ended its round so it can adopt and skip forward — its own
+  // next-round INIT then elicits the next certificate, message-driven.
+  // One round of skew is normal lock-step operation and gets nothing:
+  // handing heavy cumulative certs to every slightly-behind peer would
+  // turn each round into an O(n) certificate storm.
+  if (sb.round + 1 < round_) send_cert_if_held(sb.round, from);
 }
 
 void GsbsProcess::on_safe_req(NodeId from, wire::Decoder& dec,
@@ -658,6 +768,9 @@ void GsbsProcess::on_safe_req(NodeId from, wire::Decoder& dec,
   encode_batch_safe_ack(enc, ack, Codec{store_.get(), config_.digest_refs});
   ctx_->send(from, enc.take());
   candidate_seen_[round] = std::move(merged);
+  // §8.2 catch-up, as in on_init: a safe-req lagging two or more rounds
+  // behind gets the certificate alongside the safe-ack.
+  if (round + 1 < round_) send_cert_if_held(round, from);
 }
 
 void GsbsProcess::on_safe_ack(NodeId from, wire::Decoder& dec,
@@ -675,7 +788,7 @@ void GsbsProcess::on_safe_ack(NodeId from, wire::Decoder& dec,
   std::sort(rcvd_sorted.begin(), rcvd_sorted.end());
   if (rcvd_sorted != safety_snapshot_) return;
   if (!verify_batch_safe_ack(ack)) return;
-  safe_acks_.emplace(from, std::move(ack));
+  if (safe_acks_.emplace(from, std::move(ack)).second) note_progress();
   if (safe_acks_.size() >= byz_quorum(config_.n, config_.f)) {
     enter_proposing();
   }
@@ -739,14 +852,16 @@ void GsbsProcess::on_ack_req(NodeId from, wire::Decoder& dec,
 
   // §8.2 piggyback: attach any certificate we hold for this round so a
   // lagging proposer can decide and move on.
-  auto cert_it = certs_.find(round);
-  if (cert_it != certs_.end()) {
-    wire::Encoder enc;
-    enc.u8(static_cast<std::uint8_t>(MsgType::kGsbsDecided));
-    encode_cert(enc, cert_it->second,
-                Codec{store_.get(), config_.digest_refs});
-    ctx_->send(from, enc.take());
-  }
+  send_cert_if_held(round, from);
+}
+
+void GsbsProcess::send_cert_if_held(std::uint64_t round, NodeId to) {
+  const auto it = certs_.find(round);
+  if (it == certs_.end()) return;
+  wire::Encoder enc;
+  enc.u8(static_cast<std::uint8_t>(MsgType::kGsbsDecided));
+  encode_cert(enc, it->second, Codec{store_.get(), config_.digest_refs});
+  ctx_->send(to, enc.take());
 }
 
 void GsbsProcess::on_ack(NodeId from, wire::Decoder& dec) {
@@ -758,6 +873,7 @@ void GsbsProcess::on_ack(NodeId from, wire::Decoder& dec) {
   obs_sig_checks_.inc();
   if (!signer_->verify(from, ack_signing_bytes(ack), ack.signature)) return;
   if (!ack_senders_.insert(from).second) return;
+  note_progress();
   collected_acks_.push_back(std::move(ack));
 
   if (ack_senders_.size() >= byz_quorum(config_.n, config_.f)) {
@@ -797,6 +913,7 @@ void GsbsProcess::on_nack(NodeId from, wire::Decoder& dec,
   ts_ += 1;
   refinements_ += 1;
   obs_refinements_.inc();
+  note_progress();
   send_ack_req();
 }
 

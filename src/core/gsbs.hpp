@@ -109,6 +109,8 @@ struct GsbsConfig {
   /// critical path) needs for its before/after. Created internally when
   /// null.
   std::shared_ptr<obs::Registry> registry;
+  /// Opt-in lossy-link recovery (see core::RecoveryConfig). Default off.
+  RecoveryConfig recovery;
 };
 
 class GsbsProcess : public IAgreementEngine {
@@ -126,6 +128,11 @@ public:
   void on_start(net::IContext& ctx) override;
   void on_message(net::IContext& ctx, NodeId from,
                   wire::BytesView payload) override;
+  /// Recovery tick (armed only when config.recovery.enabled): on stall,
+  /// re-sends the current phase frame (INIT batch / safe-req / ack-req)
+  /// and re-arms dormant body fetches. Every re-send is idempotent at
+  /// receivers (all collections dedupe by sender / signer).
+  void on_timer(net::IContext& ctx, std::uint64_t token) override;
 
   [[nodiscard]] const std::vector<Decision>& decisions() const override {
     return decisions_;
@@ -177,6 +184,10 @@ private:
   void broadcast_cert_and_decide(DecidedCert cert);
   void adopt_cert(const DecidedCert& cert);
   void adopt_cert_if_held(std::uint64_t round);
+  /// Sends the stored certificate for `round` (if any) to `to` — the
+  /// §8.2 catch-up reply for stale-round INIT / safe-req / ack-req
+  /// traffic from lagging proposers.
+  void send_cert_if_held(std::uint64_t round, NodeId to);
   /// Records a certificate-proven decision set as commit evidence (the
   /// single place the Alg. 7 is_committed key is computed for GSbS).
   void record_committed(const ValueSet& decision) {
@@ -184,6 +195,8 @@ private:
   }
   void advance_trust();
   void drain_buffers();
+  void note_progress();
+  void recover_stall();
 
   // -- handlers -------------------------------------------------------------
   // Each handler fully decodes (resolving value references) before any
@@ -218,6 +231,11 @@ private:
   obs::Counter obs_refinements_;
   /// Every signer_->verify call — the ROADMAP item 4 bottleneck metric.
   obs::Counter obs_sig_checks_;
+  obs::Counter obs_retries_;  // stall-recovery passes run
+
+  // Recovery state (unused unless config_.recovery.enabled).
+  double last_progress_ = 0.0;
+  std::size_t resends_ = 0;
 
   State state_ = State::kInit;
   std::uint64_t round_ = 0;

@@ -26,6 +26,9 @@ GwtsProcess::GwtsProcess(GwtsConfig config, DecideFn on_decide)
   obs_rounds_ = registry_->counter(p + "rounds");
   obs_decisions_ = registry_->counter(p + "decisions");
   obs_refinements_ = registry_->counter(p + "refinements");
+  obs_broadcast_rejected_ =
+      registry_->counter(p + "broadcast_rejected", /*warning=*/true);
+  obs_retries_ = registry_->counter(p + "retries");
 }
 
 void GwtsProcess::submit(Value value) {
@@ -38,13 +41,120 @@ void GwtsProcess::submit(Value value) {
 void GwtsProcess::on_start(net::IContext& ctx) {
   ctx_ = &ctx;
   started_ = true;
+  if (config_.recovery.enabled) {
+    last_progress_ = ctx.now();
+    last_round_change_ = ctx.now();
+    ctx.schedule(config_.recovery.tick, 0);
+  }
   start_round();
   ctx_ = nullptr;
+}
+
+void GwtsProcess::on_timer(net::IContext& ctx, std::uint64_t /*token*/) {
+  // Chain ends once stopped (a stopped engine serves acceptors
+  // message-driven) or once the retry budget is spent on a permanently
+  // wedged run — either way the simulation can quiesce.
+  if (!config_.recovery.enabled || state_ == State::kStopped ||
+      resends_ >= config_.recovery.max_resends) {
+    return;
+  }
+  ctx_ = &ctx;
+  // Two stall signals: no traffic at all (last_progress_), or a round_
+  // that stopped advancing while traffic still flows — the laggard case,
+  // where peers' new-round frames keep resetting last_progress_ but the
+  // local engine is wedged behind missed instances or lost bodies.
+  if (ctx.now() - last_progress_ >= config_.recovery.stall_after ||
+      ctx.now() - last_round_change_ >= config_.recovery.stall_after) {
+    recover_stall();
+    last_progress_ = ctx.now();  // space retries one stall window apart
+    last_round_change_ = ctx.now();
+  }
+  ctx.schedule(config_.recovery.tick, 0);
+  ctx_ = nullptr;
+}
+
+void GwtsProcess::note_progress() {
+  if (config_.recovery.enabled && ctx_ != nullptr) {
+    last_progress_ = ctx_->now();
+  }
+}
+
+void GwtsProcess::recover_stall() {
+  if (resends_ >= config_.recovery.max_resends) return;
+  ++resends_;
+  obs_retries_.inc();
+  registry_->trace_event(config_.self, obs::EventKind::kEngineRetry, round_,
+                         static_cast<std::uint64_t>(state_));
+  // Fill tally gaps message loss tore into wedged RBC instances, give
+  // dormant body fetches another (bounded) rotation, and probe for
+  // instances we never heard of at all (partition / crash windows).
+  rbc_.retry_undelivered();
+  rbc_.fetcher().retry_exhausted();
+  probe_missed_instances();
+  // Re-send the current phase frame. Both are idempotent at receivers:
+  // a repeated SEND is ignored by echoed instances, and a repeated
+  // ack-req is answered from the acceptor's dedup/re-ack path.
+  if (state_ == State::kDisclosing) {
+    const ValueSet& batch = batches_[round_];
+    wire::Encoder enc;
+    enc.u8(static_cast<std::uint8_t>(MsgType::kDisclosure));
+    store::encode_value_set_ref(enc, batch, store_.get(), /*refs=*/false);
+    enc.u64(round_);
+    rbc_.broadcast(/*tag=*/round_, enc.view());
+  } else if (state_ == State::kProposing) {
+    send_ack_req();
+  }
+}
+
+void GwtsProcess::probe_missed_instances() {
+  // A replica that sat out a partition or crash window can be rounds
+  // behind peers who kept deciding without it. The RBC instances it
+  // missed left no local trace, so retry_undelivered cannot ask for
+  // them — but their tags are predictable: disclosures are tagged by
+  // round, acks by a per-origin counter, and both namespaces' horizons
+  // are visible in post-heal traffic (max_seen_round_ /
+  // max_ack_seq_seen_). Probe a bounded window of not-yet-delivered
+  // tags per origin; peers answer kVoteReq from retained votes, and the
+  // recovered disclosures + acks rebuild each missed round's commit,
+  // which check_decide replays in order (the quorum-intersection
+  // comparability argument is round-agnostic, so replaying old commits
+  // is exactly as safe as deciding them live).
+  constexpr std::size_t kProbesPerOrigin = 32;
+  for (NodeId origin = 0; origin < static_cast<NodeId>(config_.n);
+       ++origin) {
+    if (origin == config_.self) continue;
+    std::size_t sent = 0;
+    for (std::uint64_t r = round_; r <= max_seen_round_ && sent < kProbesPerOrigin;
+         ++r) {
+      if (!rbc_.has_delivered(origin, r)) {
+        rbc_.request_votes(origin, r);
+        ++sent;
+      }
+    }
+    const auto seq_it = max_ack_seq_seen_.find(origin);
+    if (seq_it == max_ack_seq_seen_.end()) continue;
+    auto& cursor = ack_probe_cursor_[origin];
+    while (cursor <= seq_it->second &&
+           rbc_.has_delivered(origin, kAckTagBase | cursor)) {
+      ++cursor;
+    }
+    sent = 0;
+    for (std::uint64_t c = cursor;
+         c <= seq_it->second && sent < kProbesPerOrigin; ++c) {
+      if (!rbc_.has_delivered(origin, kAckTagBase | c)) {
+        rbc_.request_votes(origin, kAckTagBase | c);
+        ++sent;
+      }
+    }
+  }
 }
 
 void GwtsProcess::start_round() {
   // Alg. 3 lines 11-15 (the state=newround transition). round_ holds the
   // round being started; the constructor primes it at 0.
+  if (config_.recovery.enabled && ctx_ != nullptr) {
+    last_round_change_ = ctx_->now();
+  }
   if (config_.max_rounds != 0 && round_ >= config_.max_rounds) {
     state_ = State::kStopped;  // acceptor role stays live
     return;
@@ -52,7 +162,6 @@ void GwtsProcess::start_round() {
   state_ = State::kDisclosing;
   obs_rounds_.inc();
   const ValueSet& batch = batches_[round_];
-  proposed_set_.merge(batch);
 
   // Inline spelling (refs=false: disclosure is first contact with the
   // content), but through the ref codec — receivers decode disclosures
@@ -62,7 +171,18 @@ void GwtsProcess::start_round() {
   enc.u8(static_cast<std::uint8_t>(MsgType::kDisclosure));
   store::encode_value_set_ref(enc, batch, store_.get(), /*refs=*/false);
   enc.u64(round_);
-  rbc_.broadcast(/*tag=*/round_, enc.view());
+  if (rbc_.broadcast(/*tag=*/round_, enc.view())) {
+    proposed_set_.merge(batch);
+  } else {
+    // RBC refused the disclosure (frame cap). Proposing undisclosed
+    // values would wedge us — acceptors park ack-reqs until every value
+    // is safe — so the batch is dropped *loudly*: warning counter +
+    // trace, and the client-side retransmit give-up surfaces the loss.
+    ++obs_broadcast_rejected_;
+    registry_->trace_event(config_.self,
+                           obs::EventKind::kWarnBroadcastRejected, round_,
+                           batch.size());
+  }
   // The transition below may already hold if n-f disclosures for this
   // round arrived while we were finishing the previous one.
   if (disclosure_counter_[round_] >= disclosure_threshold(config_.n, config_.f)) {
@@ -73,6 +193,7 @@ void GwtsProcess::start_round() {
 void GwtsProcess::begin_proposing() {
   // Alg. 3 lines 22-25.
   state_ = State::kProposing;
+  note_progress();
   ts_ += 1;
   send_ack_req();
   drain_waiting();
@@ -128,6 +249,9 @@ void GwtsProcess::handle_point_frame(NodeId from, wire::BytesView payload) {
         msg.ts = dec.u64();
         msg.round = dec.u64();
         dec.expect_done();
+        // Horizon for the discovery probes: peers' ack-reqs are the
+        // earliest post-heal signal of how far the cluster advanced.
+        max_seen_round_ = std::max(max_seen_round_, msg.round);
         if (!resolver.complete()) {
           // References we cannot resolve yet: park the frame and replay
           // it once the bodies are pulled (the sender encoded the refs,
@@ -157,8 +281,11 @@ void GwtsProcess::on_rbc_deliver(NodeId origin, std::uint64_t tag,
                                  wire::Bytes payload) {
   try {
     if ((tag & kAckTagBase) != 0) {
+      auto& seq = max_ack_seq_seen_[origin];
+      seq = std::max(seq, tag & ~kAckTagBase);
       on_broadcast_ack(origin, std::move(payload));
     } else {
+      max_seen_round_ = std::max(max_seen_round_, tag);
       on_disclosure(origin, /*round=*/tag, std::move(payload));
     }
   } catch (const wire::WireError&) {
@@ -201,9 +328,15 @@ void GwtsProcess::on_disclosure(NodeId origin, std::uint64_t round,
   }
   for (const Value& v : batch) {
     auto [it, inserted] = value_round_.try_emplace(v, round);
-    if (!inserted && round < it->second) it->second = round;
+    if (inserted) {
+      ++safety_version_;
+    } else if (round < it->second) {
+      it->second = round;
+      ++safety_version_;
+    }
   }
   disclosure_counter_[round] += 1;
+  note_progress();
   if (round <= round_ && state_ != State::kStopped) {
     proposed_set_.merge(batch);
   }
@@ -218,7 +351,12 @@ void GwtsProcess::on_disclosure(NodeId origin, std::uint64_t round,
 }
 
 bool GwtsProcess::safe_at(const ValueSet& set, std::uint64_t round) const {
-  for (const Value& v : set) {
+  return safe_at(set.elements(), round);
+}
+
+bool GwtsProcess::safe_at(const std::vector<Value>& elems,
+                          std::uint64_t round) const {
+  for (const Value& v : elems) {
     auto it = value_round_.find(v);
     if (it == value_round_.end() || it->second > round) return false;
   }
@@ -234,6 +372,7 @@ void GwtsProcess::on_broadcast_ack(NodeId acceptor, wire::Bytes payload) {
   ValueSet set = resolver.value_set(dec);
   pending.key.round = dec.u64();
   dec.expect_done();
+  max_seen_round_ = std::max(max_seen_round_, pending.key.round);
   if (!resolver.complete()) {
     // The acceptor holds every body its (cumulative) ack references.
     rbc_.fetcher().await(resolver.missing(), {acceptor},
@@ -254,7 +393,7 @@ void GwtsProcess::record_ack(NodeId acceptor, const AckKey& key) {
   // Alg. 3 lines 34-36 + Alg. 4 lines 14-16: the ack joins the (shared)
   // history; quorum appearances commit the proposal.
   auto& supporters = ack_history_[key];
-  supporters.insert(acceptor);
+  if (supporters.insert(acceptor).second) note_progress();
   if (supporters.size() == byz_quorum(config_.n, config_.f)) {
     committed_by_round_[key.round].push_back(key);
     rounds_with_commit_.insert(key.round);
@@ -276,16 +415,28 @@ void GwtsProcess::check_decide() {
   auto it = committed_by_round_.find(round_);
   if (it == committed_by_round_.end()) return;
   for (const AckKey& key : it->second) {
-    ValueSet set;
-    for (const Value& v : key.set_elems) set.insert(v);
+    // set_elems is canonical (sorted elements()) — adopt, don't rebuild.
+    ValueSet set = ValueSet::from_sorted(key.set_elems);
     if (!decided_set_.leq(set)) continue;
+    // Record (and notify) only decisions that *grow* the decided set.
+    // Rounds keep turning even with nothing new to decide, and each
+    // recorded decision copies the full cumulative set — without this
+    // guard a long idle tail (max_rounds >> workload rounds) costs
+    // O(rounds · |decided|) memory and per-round client notifications.
+    // Lost notifications are re-sent by the replica's already-decided
+    // fast path instead (rsm::RsmReplica::on_new_batch).
+    const bool grew = set != decided_set_;
     decided_set_ = set;
-    Decision decision{decided_set_, round_, ctx_ != nullptr ? ctx_->now() : 0.0};
-    decisions_.push_back(decision);
-    obs_decisions_.inc();
-    registry_->trace_event(config_.self, obs::EventKind::kDecide, round_,
-                           decided_set_.size());
-    if (on_decide_) on_decide_(decisions_.back());
+    if (grew) {
+      Decision decision{decided_set_, round_,
+                        ctx_ != nullptr ? ctx_->now() : 0.0};
+      decisions_.push_back(std::move(decision));
+      obs_decisions_.inc();
+      registry_->trace_event(config_.self, obs::EventKind::kDecide, round_,
+                             decided_set_.size());
+      if (on_decide_) on_decide_(decisions_.back());
+    }
+    note_progress();
     round_ += 1;
     start_round();
     return;
@@ -293,53 +444,81 @@ void GwtsProcess::check_decide() {
 }
 
 void GwtsProcess::drain_waiting() {
+  // Re-entrancy guard: record_ack / handle_ack_req can synchronously
+  // self-deliver an RBC frame (check_decide → start_round → broadcast),
+  // whose handler pushes onto these queues and calls drain_waiting
+  // again. The nested call must not touch the queues mid-scan — the
+  // outer fixpoint loop picks up whatever it appended.
+  if (draining_) return;
+  draining_ = true;
   bool progress = true;
   while (progress) {
     progress = false;
 
     // Reliably broadcast acks become actionable once safe at their round
-    // and the acceptor trusts that round (Alg. 4 line 14).
-    for (auto it = waiting_acks_.begin(); it != waiting_acks_.end();) {
-      ValueSet set;
-      for (const Value& v : it->key.set_elems) set.insert(v);
-      if (it->key.round <= safe_r_ && safe_at(set, it->key.round)) {
-        const PendingAck pending = *it;
-        it = waiting_acks_.erase(it);
+    // and the acceptor trusts that round (Alg. 4 line 14). A failed
+    // safe_at verdict is cached against safety_version_: it cannot flip
+    // until a disclosure changes value_round_, and skipping the re-scan
+    // keeps this loop linear when recovery parks hundreds of cumulative
+    // acks at once. Indices, not iterators: nested handlers may
+    // push_back (which invalidates deque iterators) even with the
+    // re-entrancy guard in place.
+    for (std::size_t i = 0; i < waiting_acks_.size();) {
+      PendingAck& ack = waiting_acks_[i];
+      if (ack.key.round > safe_r_ ||
+          ack.checked_version == safety_version_) {
+        ++i;
+        continue;
+      }
+      if (safe_at(ack.key.set_elems, ack.key.round)) {
+        const PendingAck pending = std::move(ack);
+        waiting_acks_.erase(waiting_acks_.begin() + i);
         record_ack(pending.acceptor, pending.key);
         progress = true;
       } else {
-        ++it;
+        ack.checked_version = safety_version_;
+        ++i;
       }
     }
 
     // Point-to-point ack requests (acceptor) and nacks (proposer).
-    for (auto it = waiting_point_.begin(); it != waiting_point_.end();) {
-      const PendingPoint& msg = *it;
+    for (std::size_t i = 0; i < waiting_point_.size();) {
+      PendingPoint& msg = waiting_point_[i];
       bool consumed = false;
       if (msg.type == MsgType::kAckReq) {
         // Alg. 4 line 6: requires safety and round trust.
-        if (msg.round <= safe_r_ && safe_at(msg.set, msg.round)) {
-          handle_ack_req(msg);
-          consumed = true;
+        if (msg.round <= safe_r_ &&
+            msg.checked_version != safety_version_) {
+          if (safe_at(msg.set, msg.round)) {
+            handle_ack_req(msg);
+            consumed = true;
+          } else {
+            msg.checked_version = safety_version_;
+          }
         }
       } else {  // kNack
         if (state_ != State::kProposing) {
           consumed = (state_ == State::kStopped);
         } else if (msg.ts != ts_ || msg.round != round_) {
           consumed = msg.ts < ts_ || msg.round < round_;  // stale: drop
-        } else if (safe_at(msg.set, round_)) {
-          handle_nack(msg);
-          consumed = true;
+        } else if (msg.checked_version != safety_version_) {
+          if (safe_at(msg.set, round_)) {
+            handle_nack(msg);
+            consumed = true;
+          } else {
+            msg.checked_version = safety_version_;
+          }
         }
       }
       if (consumed) {
-        it = waiting_point_.erase(it);
+        waiting_point_.erase(waiting_point_.begin() + i);
         progress = true;
       } else {
-        ++it;
+        ++i;
       }
     }
   }
+  draining_ = false;
 }
 
 void GwtsProcess::handle_ack_req(const PendingPoint& msg) {
@@ -350,7 +529,23 @@ void GwtsProcess::handle_ack_req(const PendingPoint& msg) {
     // identical RBC would add no information (the first already reached
     // everyone) and would blow the §6.4 message bound.
     AckKey key{accepted_set_.elements(), msg.round};
-    if (ack_broadcasts_done_.insert(key).second) {
+    const bool fresh = ack_broadcasts_done_.insert(key).second;
+    bool rebroadcast = fresh;
+    if (!fresh && config_.recovery.enabled) {
+      // A repeated ack-req for a set we already published means the
+      // asker (or its RBC instance) lost the ack. Re-publish under a
+      // fresh tag — the old instance may be wedged mid-quorum — bounded
+      // per key so a Byzantine pester can't mint unbounded RBCs.
+      auto& count = reack_counts_[key];
+      if (count < config_.recovery.max_reacks) {
+        ++count;
+        obs_retries_.inc();
+        registry_->trace_event(config_.self, obs::EventKind::kEngineRetry,
+                               msg.round, msg.from);
+        rebroadcast = true;
+      }
+    }
+    if (rebroadcast) {
       // The accepted set is cumulative — the by-far biggest repeat
       // offender in bytes (it rides an O(n²) RBC per ack). References
       // cut it to 33 bytes per value; every receiver saw the bodies via
@@ -360,7 +555,16 @@ void GwtsProcess::handle_ack_req(const PendingPoint& msg) {
       store::encode_value_set_ref(enc, accepted_set_, store_.get(),
                                   config_.digest_refs);
       enc.u64(msg.round);
-      rbc_.broadcast(kAckTagBase | ack_tag_counter_++, enc.view());
+      if (!rbc_.broadcast(kAckTagBase | ack_tag_counter_++, enc.view())) {
+        // RBC refused the ack frame (cumulative set outgrew the cap).
+        // Un-record the dedup key so a later, post-checkpoint ack-req can
+        // retry instead of being silently suppressed forever.
+        ack_broadcasts_done_.erase(key);
+        ++obs_broadcast_rejected_;
+        registry_->trace_event(config_.self,
+                               obs::EventKind::kWarnBroadcastRejected,
+                               msg.round, accepted_set_.size());
+      }
     }
   } else {
     wire::Encoder enc;
@@ -378,6 +582,7 @@ void GwtsProcess::handle_nack(const PendingPoint& msg) {
   // Alg. 3 lines 28-33.
   if (!proposed_set_.would_grow_by(msg.set)) return;
   proposed_set_.merge(msg.set);
+  note_progress();
   ts_ += 1;
   refinements_ += 1;
   obs_refinements_.inc();

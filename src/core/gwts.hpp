@@ -59,6 +59,8 @@ struct GwtsConfig {
   /// when null (with command-lifecycle tracking disabled — nobody reads a
   /// private registry's lifecycle, and tracking hashes every value).
   std::shared_ptr<obs::Registry> registry;
+  /// Opt-in lossy-link recovery (see core::RecoveryConfig). Default off.
+  RecoveryConfig recovery;
 };
 
 class GwtsProcess : public IAgreementEngine {
@@ -78,6 +80,10 @@ public:
   void on_start(net::IContext& ctx) override;
   void on_message(net::IContext& ctx, NodeId from,
                   wire::BytesView payload) override;
+  /// Recovery tick (armed only when config.recovery.enabled): on stall,
+  /// re-sends the current phase frame, runs RBC vote-request
+  /// anti-entropy, and re-arms dormant body fetches.
+  void on_timer(net::IContext& ctx, std::uint64_t token) override;
 
   // -- Observers -----------------------------------------------------------
 
@@ -134,16 +140,24 @@ private:
     ValueSet set;
     std::uint64_t ts = 0;
     std::uint64_t round = 0;
+    /// safety_version_ at the last failed safe_at check — drain_waiting
+    /// skips re-evaluation until a disclosure actually changed
+    /// value_round_ (without this, every drain pass re-scans every
+    /// parked cumulative set: quadratic once recovery parks hundreds).
+    std::uint64_t checked_version = std::uint64_t(-1);
   };
 
   struct PendingAck {  // buffered reliably-broadcast ack
     NodeId acceptor;
     AckKey key;
+    std::uint64_t checked_version = std::uint64_t(-1);  // as above
   };
 
   /// SAFE / SAFEA: every value of `set` was disclosed in a round ≤ `round`
   /// (the W_r = ∪_{r'≤r} SvS[r'] universe of the Non-Triviality proof).
   [[nodiscard]] bool safe_at(const ValueSet& set, std::uint64_t round) const;
+  [[nodiscard]] bool safe_at(const std::vector<Value>& elems,
+                             std::uint64_t round) const;
 
   void start_round();
   void begin_proposing();
@@ -160,6 +174,15 @@ private:
   void handle_nack(const PendingPoint& msg);
   void drain_waiting();
   void check_decide();
+  void note_progress();
+  void recover_stall();
+  /// Anti-entropy discovery (recovery only): kVoteReq probes for RBC
+  /// instances whose every frame fell inside a partition / crash window
+  /// — invisible to retry_undelivered, but nameable because disclosure
+  /// tags are rounds and ack tags a per-origin counter. Recovered
+  /// disclosures + acks rebuild the missed rounds' commits, which the
+  /// normal decide path then replays in order.
+  void probe_missed_instances();
 
   GwtsConfig config_;
   DecideFn on_decide_;
@@ -173,6 +196,8 @@ private:
   obs::Counter obs_rounds_;
   obs::Counter obs_decisions_;
   obs::Counter obs_refinements_;
+  obs::Counter obs_broadcast_rejected_;  // warning: RBC refused our frame
+  obs::Counter obs_retries_;             // stall-recovery passes run
 
   // Proposer state (Alg. 3).
   State state_ = State::kDisclosing;
@@ -186,9 +211,12 @@ private:
   bool started_ = false;
 
   // Safe-value bookkeeping: min round at which each value was disclosed,
-  // plus per-round disclosure counters.
+  // plus per-round disclosure counters. safety_version_ bumps whenever
+  // value_round_ gains an entry or lowers one — i.e. whenever a parked
+  // safe_at verdict could flip (see PendingPoint::checked_version).
   std::map<Value, std::uint64_t> value_round_;
   std::map<std::uint64_t, std::size_t> disclosure_counter_;
+  std::uint64_t safety_version_ = 0;
 
   // Shared ack history (proposer decides from it; acceptor advances
   // Safe_r from it).
@@ -204,8 +232,26 @@ private:
   std::uint64_t ack_tag_counter_ = 0;
   std::set<AckKey> ack_broadcasts_done_;
 
+  // Recovery state (unused unless config_.recovery.enabled).
+  double last_progress_ = 0.0;
+  // When round_ last advanced. A laggard inside a live system keeps
+  // receiving new-round traffic (which counts as progress), so
+  // last_progress_ alone never trips the watchdog even though the
+  // engine is wedged locally — the round clock is the signal that does.
+  double last_round_change_ = 0.0;
+  std::size_t resends_ = 0;
+  std::map<AckKey, std::size_t> reack_counts_;
+  // Discovery-probe bookkeeping (probe_missed_instances): the highest
+  // round observed in any peer frame, the highest ack-tag counter seen
+  // delivered per origin, and a monotone per-origin probe cursor over
+  // the ack tag space.
+  std::uint64_t max_seen_round_ = 0;
+  std::map<NodeId, std::uint64_t> max_ack_seq_seen_;
+  std::map<NodeId, std::uint64_t> ack_probe_cursor_;
+
   std::deque<PendingPoint> waiting_point_;
   std::deque<PendingAck> waiting_acks_;
+  bool draining_ = false;  // drain_waiting re-entrancy guard
 };
 
 }  // namespace bla::core

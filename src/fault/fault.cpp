@@ -1,0 +1,284 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace bla::fault {
+namespace {
+
+// SplitMix64: tiny, seedable, and good enough for fault coins.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::string FaultPlan::describe() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "FaultPlan{seed=%llu drop=%.3f dup=%.3f reorder=%.3f "
+                "partitions=%zu crashes=%zu overrides=%zu}",
+                static_cast<unsigned long long>(seed), default_link.drop,
+                default_link.duplicate, default_link.reorder,
+                partitions.size(), crashes.size(), link_overrides.size());
+  return buf;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan,
+                             std::shared_ptr<obs::Registry> registry)
+    : plan_(std::move(plan)),
+      registry_(std::move(registry)),
+      rng_(plan_.seed ? plan_.seed : 1),
+      crash_noted_(plan_.crashes.size(), false),
+      recover_noted_(plan_.crashes.size(), false) {
+  if (registry_) {
+    obs_dropped_ = registry_->counter("fault/dropped");
+    obs_duplicated_ = registry_->counter("fault/duplicated");
+    obs_reordered_ = registry_->counter("fault/reordered");
+    obs_partition_dropped_ = registry_->counter("fault/partition_dropped");
+    obs_crash_dropped_ = registry_->counter("fault/crash_dropped");
+  }
+}
+
+double FaultInjector::rel(double now) {
+  if (!epoch_) epoch_ = now;
+  return now - *epoch_;
+}
+
+bool FaultInjector::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  // 53-bit mantissa uniform in [0, 1).
+  const double u =
+      static_cast<double>(splitmix64(rng_) >> 11) * 0x1.0p-53;
+  return u < p;
+}
+
+bool FaultInjector::crashed(net::NodeId node, double t) const {
+  for (const CrashSpec& c : plan_.crashes) {
+    if (c.node != node) continue;
+    if (t < c.crash) continue;
+    if (c.recover <= c.crash || t < c.recover) return true;
+  }
+  return false;
+}
+
+bool FaultInjector::partitioned(net::NodeId from, net::NodeId to,
+                                double t) const {
+  for (const PartitionSpec& p : plan_.partitions) {
+    if (t < p.start || t >= p.heal) continue;
+    const bool from_a =
+        std::find(p.side_a.begin(), p.side_a.end(), from) != p.side_a.end();
+    const bool to_a =
+        std::find(p.side_a.begin(), p.side_a.end(), to) != p.side_a.end();
+    if (from_a != to_a) return true;
+  }
+  return false;
+}
+
+const LinkFaults& FaultInjector::link(net::NodeId from, net::NodeId to) const {
+  const auto it = plan_.link_overrides.find({from, to});
+  return it != plan_.link_overrides.end() ? it->second : plan_.default_link;
+}
+
+void FaultInjector::note_transitions(double t) {
+  // Emit one kFaultCrash / kFaultRecover trace event per window, lazily
+  // at the first frame observed inside / past it.
+  if (!registry_) return;
+  for (std::size_t i = 0; i < plan_.crashes.size(); ++i) {
+    const CrashSpec& c = plan_.crashes[i];
+    if (!crash_noted_[i] && t >= c.crash) {
+      crash_noted_[i] = true;
+      registry_->trace_event(c.node, obs::EventKind::kFaultCrash, i);
+    }
+    if (!recover_noted_[i] && c.recover > c.crash && t >= c.recover) {
+      recover_noted_[i] = true;
+      registry_->trace_event(c.node, obs::EventKind::kFaultRecover, i);
+    }
+  }
+}
+
+void FaultInjector::outbound(net::NodeId from, net::NodeId to, double now,
+                             const wire::Bytes& payload,
+                             const std::function<void(wire::Bytes)>& emit) {
+  // Decide under the lock, emit outside it (emits re-enter the runtime).
+  enum class Action { kDeliver, kDeliverTwice, kSwap, kSilent };
+  Action action = Action::kDeliver;
+  wire::Bytes released;
+  {
+    std::lock_guard lock(mu_);
+    const double t = rel(now);
+    note_transitions(t);
+    if (crashed(from, t) || (from != to && crashed(to, t))) {
+      ++stats_.crash_dropped;
+      obs_crash_dropped_.inc();
+      if (registry_) {
+        registry_->trace_event(from, obs::EventKind::kFaultDrop, to,
+                               payload.size());
+      }
+      return;
+    }
+    if (from != to) {  // self-delivery is in-process: loss-exempt
+      if (partitioned(from, to, t)) {
+        ++stats_.partition_dropped;
+        obs_partition_dropped_.inc();
+        if (registry_) {
+          registry_->trace_event(from, obs::EventKind::kFaultPartitionDrop,
+                                 to, payload.size());
+        }
+        return;
+      }
+      const LinkFaults& lf = link(from, to);
+      if (chance(lf.drop)) {
+        ++stats_.dropped;
+        obs_dropped_.inc();
+        if (registry_) {
+          registry_->trace_event(from, obs::EventKind::kFaultDrop, to,
+                                 payload.size());
+        }
+        return;
+      }
+      const auto key = std::make_pair(from, to);
+      auto stashed = stash_.find(key);
+      if (stashed != stash_.end()) {
+        released = std::move(stashed->second);
+        stash_.erase(stashed);
+        action = Action::kSwap;
+      } else if (chance(lf.reorder)) {
+        stash_.emplace(key, payload);
+        ++stats_.reordered;
+        obs_reordered_.inc();
+        if (registry_) {
+          registry_->trace_event(from, obs::EventKind::kFaultReorder, to,
+                                 payload.size());
+        }
+        action = Action::kSilent;
+      } else if (chance(lf.duplicate)) {
+        ++stats_.duplicated;
+        obs_duplicated_.inc();
+        if (registry_) {
+          registry_->trace_event(from, obs::EventKind::kFaultDuplicate, to,
+                                 payload.size());
+        }
+        action = Action::kDeliverTwice;
+      }
+    }
+  }
+  switch (action) {
+    case Action::kSilent:
+      return;
+    case Action::kSwap:
+      emit(payload);
+      emit(std::move(released));  // swapped with its successor
+      return;
+    case Action::kDeliverTwice:
+      emit(payload);
+      emit(payload);
+      return;
+    case Action::kDeliver:
+      emit(payload);
+      return;
+  }
+}
+
+bool FaultInjector::inbound_blocked(net::NodeId to, double now) {
+  std::lock_guard lock(mu_);
+  const double t = rel(now);
+  note_transitions(t);
+  if (!crashed(to, t)) return false;
+  ++stats_.crash_dropped;
+  obs_crash_dropped_.inc();
+  return true;
+}
+
+FaultInjector::Stats FaultInjector::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+std::uint64_t FaultInjector::injected_faults() const {
+  std::lock_guard lock(mu_);
+  return stats_.dropped + stats_.duplicated + stats_.reordered +
+         stats_.partition_dropped + stats_.crash_dropped;
+}
+
+namespace {
+
+/// IContext wrapper routing send/broadcast through the injector.
+class FaultyContext final : public net::IContext {
+public:
+  FaultyContext(FaultInjector& injector, net::IContext& inner)
+      : injector_(injector), inner_(inner) {}
+
+  void send(net::NodeId to, wire::Bytes payload) override {
+    injector_.outbound(inner_.self(), to, inner_.now(), payload,
+                       [&](wire::Bytes frame) {
+                         inner_.send(to, std::move(frame));
+                       });
+  }
+
+  void broadcast(wire::Bytes payload) override {
+    // Expand to per-link sends so each link rolls its own fault coins,
+    // matching both runtimes' broadcast = n point-to-point sends.
+    for (net::NodeId to = 0; to < inner_.node_count(); ++to) {
+      send(to, payload);
+    }
+  }
+
+  [[nodiscard]] net::NodeId self() const override { return inner_.self(); }
+  [[nodiscard]] std::size_t node_count() const override {
+    return inner_.node_count();
+  }
+  [[nodiscard]] double now() const override { return inner_.now(); }
+  void schedule(double delay, std::uint64_t token) override {
+    inner_.schedule(delay, token);
+  }
+
+private:
+  FaultInjector& injector_;
+  net::IContext& inner_;
+};
+
+class FaultyProcess final : public net::IProcess {
+public:
+  FaultyProcess(std::shared_ptr<FaultInjector> injector,
+                std::unique_ptr<net::IProcess> inner)
+      : injector_(std::move(injector)), inner_(std::move(inner)) {}
+
+  void on_start(net::IContext& ctx) override {
+    FaultyContext fctx(*injector_, ctx);
+    inner_->on_start(fctx);
+  }
+
+  void on_message(net::IContext& ctx, net::NodeId from,
+                  wire::BytesView payload) override {
+    // Frames already in flight when a crash window opens die here.
+    if (injector_->inbound_blocked(ctx.self(), ctx.now())) return;
+    FaultyContext fctx(*injector_, ctx);
+    inner_->on_message(fctx, from, payload);
+  }
+
+  void on_timer(net::IContext& ctx, std::uint64_t token) override {
+    // Timers run through a crash: the node is isolated, not halted, so
+    // retransmit chains survive into the recovery window (their sends
+    // are dropped while crashed anyway).
+    FaultyContext fctx(*injector_, ctx);
+    inner_->on_timer(fctx, token);
+  }
+
+private:
+  std::shared_ptr<FaultInjector> injector_;
+  std::unique_ptr<net::IProcess> inner_;
+};
+
+}  // namespace
+
+std::unique_ptr<net::IProcess> FaultyNetwork::wrap(
+    std::unique_ptr<net::IProcess> inner) {
+  return std::make_unique<FaultyProcess>(injector_, std::move(inner));
+}
+
+}  // namespace bla::fault

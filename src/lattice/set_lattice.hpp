@@ -28,6 +28,16 @@ public:
     for (const T& v : init) insert(v);
   }
 
+  /// Adopts an already-sorted, duplicate-free vector in O(1). The caller
+  /// guarantees the invariant — intended for elements() round-trips
+  /// (canonical storage is sorted), where element-wise insert() would
+  /// cost O(k²).
+  static SetLattice from_sorted(std::vector<T> sorted_unique) {
+    SetLattice s;
+    s.elems_ = std::move(sorted_unique);
+    return s;
+  }
+
   /// Inserts one element; returns true if the set grew.
   bool insert(const T& v) {
     auto it = std::lower_bound(elems_.begin(), elems_.end(), v);

@@ -38,6 +38,18 @@ public:
   /// Current time. In the simulator with the unit-delay model this counts
   /// message delays, the cost unit of Theorems 3 and 8.
   [[nodiscard]] virtual double now() const = 0;
+
+  /// Arms a one-shot timer: `on_timer(ctx, token)` fires on this process
+  /// after `delay` time units (simulated time in SimNetwork, wall seconds
+  /// in ThreadNetwork). Defaults to a no-op so minimal contexts (tests,
+  /// adversaries) need not implement timers; protocols that rely on
+  /// retransmission must tolerate timers that never fire — the paper's
+  /// asynchronous model makes no timing assumptions, timers here only
+  /// drive *recovery* (retransmit/anti-entropy), never safety.
+  virtual void schedule(double delay, std::uint64_t token) {
+    (void)delay;
+    (void)token;
+  }
 };
 
 /// A protocol node. Correct processes implement the paper's algorithms;
@@ -49,6 +61,14 @@ public:
   virtual void on_start(IContext& ctx) = 0;
   virtual void on_message(IContext& ctx, NodeId from,
                           wire::BytesView payload) = 0;
+
+  /// One-shot timer callback (see IContext::schedule). Timer firings are
+  /// local control flow, not network traffic: runtimes exclude them from
+  /// NodeMetrics and the net/* counters.
+  virtual void on_timer(IContext& ctx, std::uint64_t token) {
+    (void)ctx;
+    (void)token;
+  }
 };
 
 /// Per-node traffic counters, the raw data behind the message-complexity

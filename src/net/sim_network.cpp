@@ -25,6 +25,10 @@ public:
   }
   [[nodiscard]] double now() const override { return net_.now(); }
 
+  void schedule(double delay, std::uint64_t token) override {
+    net_.enqueue_timer(self_, delay, token);
+  }
+
 private:
   SimNetwork& net_;
   NodeId self_;
@@ -66,6 +70,14 @@ void SimNetwork::enqueue(NodeId from, NodeId to, wire::Bytes payload) {
   queue_.push(Event{now_ + delay, next_seq_++, from, to, std::move(payload)});
 }
 
+void SimNetwork::enqueue_timer(NodeId node, double delay, std::uint64_t token) {
+  // Timer firings share the (time, seq) queue for determinism but are not
+  // messages: no metrics, no delay model, no payload.
+  if (delay < 0.0) delay = 0.0;
+  queue_.push(Event{now_ + delay, next_seq_++, node, node, wire::Bytes{},
+                    /*timer=*/true, token});
+}
+
 std::uint64_t SimNetwork::run(std::uint64_t max_events,
                               const std::function<bool()>& until) {
   if (!started_) {
@@ -84,11 +96,16 @@ std::uint64_t SimNetwork::run(std::uint64_t max_events,
     // Advance simulated time *before* delivery so instrumentation inside
     // the handler timestamps at this event's time.
     if (sim_clock_) sim_clock_->advance_to(now_);
+    Context ctx(*this, ev.to);
+    if (ev.timer) {
+      processes_[ev.to]->on_timer(ctx, ev.token);
+      ++delivered;
+      continue;
+    }
     metrics_[ev.to].messages_delivered += 1;
     metrics_[ev.to].bytes_delivered += ev.payload.size();
     obs_messages_delivered_.inc();
     obs_bytes_delivered_.inc(ev.payload.size());
-    Context ctx(*this, ev.to);
     processes_[ev.to]->on_message(ctx, ev.from, ev.payload);
     ++delivered;
   }

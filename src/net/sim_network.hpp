@@ -69,6 +69,8 @@ private:
     NodeId from;
     NodeId to;
     wire::Bytes payload;
+    bool timer = false;           // timer firing, not a message
+    std::uint64_t token = 0;      // opaque timer token
   };
   struct EventLater {
     bool operator()(const Event& a, const Event& b) const {
@@ -80,6 +82,7 @@ private:
   class Context;
 
   void enqueue(NodeId from, NodeId to, wire::Bytes payload);
+  void enqueue_timer(NodeId node, double delay, std::uint64_t token);
 
   std::vector<std::unique_ptr<IProcess>> processes_;
   std::vector<NodeMetrics> metrics_;

@@ -29,6 +29,10 @@ public:
     return duration<double>(steady_clock::now().time_since_epoch()).count();
   }
 
+  void schedule(double delay, std::uint64_t token) override {
+    net_.schedule_timer(self_, delay, token);
+  }
+
 private:
   ThreadNetwork& net_;
   NodeId self_;
@@ -71,21 +75,59 @@ void ThreadNetwork::deliver(NodeId from, NodeId to, wire::Bytes payload) {
   target.cv.notify_one();
 }
 
+void ThreadNetwork::schedule_timer(NodeId node_id, double delay,
+                                   std::uint64_t token) {
+  if (node_id >= node_count()) return;
+  using namespace std::chrono;
+  if (delay < 0.0) delay = 0.0;
+  const auto deadline =
+      steady_clock::now() + duration_cast<steady_clock::duration>(
+                                duration<double>(delay));
+  Node& node = *nodes_[node_id];
+  {
+    std::lock_guard lock(node.mutex);
+    node.timers.emplace(deadline, token);
+  }
+  node.cv.notify_one();
+}
+
 void ThreadNetwork::node_loop(NodeId id) {
   Node& node = *nodes_[id];
   Context ctx(*this, id);
   while (true) {
     std::pair<NodeId, wire::Bytes> mail;
+    bool is_timer = false;
+    std::uint64_t token = 0;
     {
       std::unique_lock lock(node.mutex);
-      node.cv.wait(lock, [&] {
-        return !node.mailbox.empty() || !running_.load();
-      });
+      const auto wakeable = [&] {
+        return !node.mailbox.empty() || !running_.load() ||
+               (!node.timers.empty() &&
+                node.timers.begin()->first <= std::chrono::steady_clock::now());
+      };
+      while (!wakeable()) {
+        if (node.timers.empty()) {
+          node.cv.wait(lock);
+        } else {
+          node.cv.wait_until(lock, node.timers.begin()->first);
+        }
+      }
       if (!running_.load()) return;
-      mail = std::move(node.mailbox.front());
-      node.mailbox.pop_front();
-      node.metrics.messages_delivered += 1;
-      node.metrics.bytes_delivered += mail.second.size();
+      if (!node.mailbox.empty()) {
+        // Mail first: timers drive recovery, messages drive progress.
+        mail = std::move(node.mailbox.front());
+        node.mailbox.pop_front();
+        node.metrics.messages_delivered += 1;
+        node.metrics.bytes_delivered += mail.second.size();
+      } else {
+        is_timer = true;
+        token = node.timers.begin()->second;
+        node.timers.erase(node.timers.begin());
+      }
+    }
+    if (is_timer) {
+      node.process->on_timer(ctx, token);
+      continue;
     }
     obs_messages_delivered_.inc();
     obs_bytes_delivered_.inc(mail.second.size());

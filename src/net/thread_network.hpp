@@ -9,8 +9,10 @@
 // produces.
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -55,6 +57,11 @@ private:
   struct Node {
     std::unique_ptr<IProcess> process;
     std::deque<std::pair<NodeId, wire::Bytes>> mailbox;
+    // Armed one-shot timers, ordered by deadline. Timer firings are
+    // control flow, not traffic: they bypass NodeMetrics and busy_ (so
+    // wait_quiescent() means "no mail in flight", unchanged).
+    std::multimap<std::chrono::steady_clock::time_point, std::uint64_t>
+        timers;
     mutable std::mutex mutex;
     std::condition_variable cv;
     NodeMetrics metrics;
@@ -64,6 +71,7 @@ private:
   class Context;
 
   void deliver(NodeId from, NodeId to, wire::Bytes payload);
+  void schedule_timer(NodeId node, double delay, std::uint64_t token);
   void node_loop(NodeId id);
 
   std::vector<std::unique_ptr<Node>> nodes_;

@@ -41,6 +41,30 @@ const char* event_name(EventKind kind) {
       return "warn_fetch_exhausted";
     case EventKind::kWarnParkShed:
       return "warn_park_shed";
+    case EventKind::kFaultDrop:
+      return "fault_drop";
+    case EventKind::kFaultDuplicate:
+      return "fault_duplicate";
+    case EventKind::kFaultReorder:
+      return "fault_reorder";
+    case EventKind::kFaultPartitionDrop:
+      return "fault_partition_drop";
+    case EventKind::kFaultCrash:
+      return "fault_crash";
+    case EventKind::kFaultRecover:
+      return "fault_recover";
+    case EventKind::kBatchRetransmit:
+      return "batch_retransmit";
+    case EventKind::kWarnBatchGiveUp:
+      return "warn_batch_give_up";
+    case EventKind::kFetchRearm:
+      return "fetch_rearm";
+    case EventKind::kRbcVoteReq:
+      return "rbc_vote_req";
+    case EventKind::kEngineRetry:
+      return "engine_retry";
+    case EventKind::kWarnBroadcastRejected:
+      return "warn_broadcast_rejected";
   }
   return "unknown";
 }

@@ -45,6 +45,21 @@ enum class EventKind : std::uint8_t {
   kWarnNearCapBroadcast,
   kWarnFetchExhausted,
   kWarnParkShed,
+  // Fault injection (src/fault): every fault the FaultyNetwork decorator
+  // injects is traced so a replayed schedule can be audited step by step.
+  kFaultDrop,
+  kFaultDuplicate,
+  kFaultReorder,
+  kFaultPartitionDrop,
+  kFaultCrash,
+  kFaultRecover,
+  // Recovery layer: retransmits, anti-entropy, and give-ups.
+  kBatchRetransmit,
+  kWarnBatchGiveUp,
+  kFetchRearm,
+  kRbcVoteReq,
+  kEngineRetry,
+  kWarnBroadcastRejected,
 };
 
 [[nodiscard]] const char* event_name(EventKind kind);

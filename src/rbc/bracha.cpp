@@ -21,7 +21,8 @@ BrachaRbc::BrachaRbc(Config config, SendFn send, DeliverFn deliver)
       fetcher_(
           store::BodyFetcher::Config{config_.self, config_.n,
                                      kMaxPayloadBytes,
-                                     /*fanout=*/config_.f + 1, registry_},
+                                     /*fanout=*/config_.f + 1,
+                                     /*max_auto_rearms=*/4, registry_},
           store_, [this](NodeId to, wire::Bytes b) { send_(to, std::move(b)); }) {
   const std::string p = "node" + std::to_string(config_.self) + "/rbc/";
   stats_.oversized_payload = registry_->counter(p + "oversized_payload");
@@ -36,6 +37,8 @@ BrachaRbc::BrachaRbc(Config config, SendFn send, DeliverFn deliver)
       registry_->counter(p + "oversized_broadcast", /*warning=*/true);
   stats_.near_cap_broadcast =
       registry_->counter(p + "near_cap_broadcast", /*warning=*/true);
+  stats_.vote_reqs_sent = registry_->counter(p + "vote_reqs_sent");
+  stats_.vote_reqs_served = registry_->counter(p + "vote_reqs_served");
   largest_broadcast_ =
       registry_->gauge(p + "largest_broadcast_bytes",
                        /*warn_at=*/static_cast<double>(kNearCapBytes));
@@ -78,6 +81,20 @@ void BrachaRbc::emit(MsgType type, const InstanceKey& key,
   for (NodeId to = 0; to < config_.n; ++to) {
     send_(to, enc.view());
   }
+}
+
+void BrachaRbc::emit_to(NodeId to, MsgType type, const InstanceKey& key,
+                        wire::BytesView vote) {
+  wire::Encoder enc;
+  enc.u8(static_cast<std::uint8_t>(type));
+  enc.u32(key.origin);
+  enc.u64(key.tag);
+  if (config_.digest_frames) {
+    enc.raw(vote);
+  } else {
+    enc.bytes(vote);
+  }
+  send_(to, enc.take());
 }
 
 bool BrachaRbc::broadcast(std::uint64_t tag, wire::BytesView payload) {
@@ -125,6 +142,9 @@ bool BrachaRbc::handle(NodeId from, std::uint8_t type, wire::Decoder& dec) {
         break;
       case MsgType::kReady:
         on_ready(from, dec);
+        break;
+      case MsgType::kVoteReq:
+        on_vote_req(from, dec);
         break;
     }
   } catch (const wire::WireError&) {
@@ -175,6 +195,88 @@ void BrachaRbc::on_send(NodeId from, wire::Decoder& dec) {
   inst->echoed = true;
   wire::Bytes vote(d.begin(), d.end());
   emit(MsgType::kEcho, key, vote);
+}
+
+void BrachaRbc::on_vote_req(NodeId from, wire::Decoder& dec) {
+  const NodeId origin = dec.u32();
+  const std::uint64_t tag = dec.u64();
+  if (origin >= config_.n) {
+    ++stats_.bad_origin;
+    return;
+  }
+  // Never materialize an instance for a request: a Byzantine asker must
+  // not be able to burn per-origin cap slots with probes.
+  const auto it = instances_.find(InstanceKey{origin, tag});
+  if (it == instances_.end()) return;
+  const Instance& inst = it->second;
+  const InstanceKey& key = it->first;
+  if (inst.delivered) {
+    if (inst.delivered_vote.empty()) return;  // legacy mode: not retained
+    ++stats_.vote_reqs_served;
+    emit_to(from, MsgType::kEcho, key, inst.delivered_vote);
+    emit_to(from, MsgType::kReady, key, inst.delivered_vote);
+    return;
+  }
+  // Undelivered: our own votes are in the tallies (emit() loops back
+  // through self), so re-offer exactly what we voted — no new retention.
+  bool served = false;
+  for (const auto& [vote, supporters] : inst.echo_counts) {
+    if (supporters.contains(config_.self)) {
+      emit_to(from, MsgType::kEcho, key, vote);
+      served = true;
+      break;
+    }
+  }
+  for (const auto& [vote, supporters] : inst.ready_counts) {
+    if (supporters.contains(config_.self)) {
+      emit_to(from, MsgType::kReady, key, vote);
+      served = true;
+      break;
+    }
+  }
+  if (served) ++stats_.vote_reqs_served;
+}
+
+bool BrachaRbc::has_delivered(NodeId origin, std::uint64_t tag) const {
+  const auto it = instances_.find(InstanceKey{origin, tag});
+  return it != instances_.end() && it->second.delivered;
+}
+
+void BrachaRbc::request_votes(NodeId origin, std::uint64_t tag) {
+  registry_->trace_event(config_.self, obs::EventKind::kRbcVoteReq, tag,
+                         origin);
+  wire::Encoder enc;
+  enc.u8(static_cast<std::uint8_t>(MsgType::kVoteReq));
+  enc.u32(origin);
+  enc.u64(tag);
+  for (NodeId to = 0; to < config_.n; ++to) {
+    if (to == config_.self) continue;
+    ++stats_.vote_reqs_sent;
+    send_(to, enc.view());
+  }
+}
+
+std::size_t BrachaRbc::retry_undelivered(std::size_t max_requests) {
+  std::size_t sent = 0;
+  for (auto& [key, inst] : instances_) {
+    if (sent >= max_requests) break;
+    if (inst.delivered) continue;
+    if (inst.vote_req_rounds >= kMaxVoteReqRounds) continue;
+    ++inst.vote_req_rounds;
+    registry_->trace_event(config_.self, obs::EventKind::kRbcVoteReq,
+                           key.tag, key.origin);
+    wire::Encoder enc;
+    enc.u8(static_cast<std::uint8_t>(MsgType::kVoteReq));
+    enc.u32(key.origin);
+    enc.u64(key.tag);
+    for (NodeId to = 0; to < config_.n; ++to) {
+      if (to == config_.self) continue;
+      ++stats_.vote_reqs_sent;
+      send_(to, enc.view());
+    }
+    ++sent;
+  }
+  return sent;
 }
 
 void BrachaRbc::maybe_ready(const InstanceKey& key, Instance& inst,
@@ -265,6 +367,9 @@ void BrachaRbc::deliver(const InstanceKey& key, Instance& inst,
     return;
   }
 
+  // Retain the winning digest (32 bytes) so kVoteReq from lagging peers
+  // can be answered after the tallies are released.
+  inst.delivered_vote = vote;
   store::Digest d;
   std::copy(vote.begin(), vote.end(), d.begin());
   if (auto body = store_->get(d)) {

@@ -57,10 +57,20 @@ using net::NodeId;
 /// dispatch on the first byte of each message; these three belong to us
 /// (and handle() also consumes the body-pull types 4..5 on behalf of the
 /// embedded fetcher).
-enum class MsgType : std::uint8_t { kSend = 1, kEcho = 2, kReady = 3 };
+/// kVoteReq is anti-entropy for lossy links (src/fault): a process with
+/// an undelivered instance asks peers to re-emit their ECHO/READY votes
+/// for it. Pure recovery — it never changes what can be delivered, only
+/// re-offers votes the asker may have lost, so §3's reliable-link proofs
+/// are untouched when links actually are reliable.
+enum class MsgType : std::uint8_t {
+  kSend = 1,
+  kEcho = 2,
+  kReady = 3,
+  kVoteReq = 6,  // 4..5 are the body-pull protocol (store::MsgType)
+};
 
 [[nodiscard]] constexpr bool is_rbc_type(std::uint8_t t) {
-  return t >= 1 && t <= 3;
+  return (t >= 1 && t <= 3) || t == 6;
 }
 
 /// Caps applied to network input (Byzantine senders cannot blow up
@@ -92,6 +102,8 @@ enum class MsgType : std::uint8_t { kSend = 1, kEcho = 2, kReady = 3 };
 /// principled fix is epoch-based instance GC — see ROADMAP.
 inline constexpr std::size_t kMaxPayloadBytes = 256 * lattice::kMaxValueBytes;
 inline constexpr std::size_t kMaxInstancesPerOrigin = 1 << 14;
+/// Lifetime cap on anti-entropy rounds per undelivered instance.
+inline constexpr std::size_t kMaxVoteReqRounds = 16;
 
 class BrachaRbc {
 public:
@@ -134,6 +146,8 @@ public:
     /// broadcast() payload crossed 3/4 of kMaxPayloadBytes: the overflow
     /// early-warning (warning class).
     obs::Counter near_cap_broadcast;
+    obs::Counter vote_reqs_sent;    // anti-entropy requests broadcast
+    obs::Counter vote_reqs_served;  // vote re-emissions answered
   };
 
   /// Point-to-point transmit provided by the owning process.
@@ -158,6 +172,28 @@ public:
   /// frames are silently dropped (they can only come from Byzantine
   /// senders) and counted in stats().
   bool handle(NodeId from, std::uint8_t type, wire::Decoder& dec);
+
+  /// Anti-entropy pass for lossy links: broadcasts a kVoteReq for up to
+  /// `max_requests` undelivered instances (each instance asks at most
+  /// kMaxVoteReqRounds times over its lifetime, so Byzantine junk
+  /// instances cannot generate unbounded retry traffic). Peers answer by
+  /// re-emitting their ECHO/READY votes point-to-point to the asker,
+  /// which fills any gap message loss tore into the tallies. Owners call
+  /// this from their recovery tick; it is never required for correctness
+  /// on reliable links. Returns the number of requests sent.
+  std::size_t retry_undelivered(std::size_t max_requests = 16);
+
+  /// True iff instance (origin, tag) has delivered locally.
+  [[nodiscard]] bool has_delivered(NodeId origin, std::uint64_t tag) const;
+
+  /// Broadcasts one anti-entropy kVoteReq for instance (origin, tag)
+  /// even when no local state for it exists. This is the *discovery*
+  /// probe: an instance whose every frame fell inside a partition or
+  /// crash window leaves no trace for retry_undelivered to retry, but
+  /// owners that tag instances predictably (GWTS: disclosures by round,
+  /// acks by a per-origin counter) can ask for it by name. Peers answer
+  /// from retained votes exactly as for any other kVoteReq.
+  void request_votes(NodeId origin, std::uint64_t tag);
 
   /// Quorum sizes (exposed for tests).
   [[nodiscard]] std::size_t echo_quorum() const {
@@ -198,6 +234,12 @@ private:
     std::set<NodeId> readiers;
     std::map<wire::Bytes, std::set<NodeId>> echo_counts;
     std::map<wire::Bytes, std::set<NodeId>> ready_counts;
+    /// The winning vote, retained past release_instance so kVoteReq from
+    /// a lagging peer can still be answered (digest frames only: 32
+    /// bytes; legacy mode skips retention — the vote is the whole
+    /// payload and anti-entropy is a lossy-link feature).
+    wire::Bytes delivered_vote;
+    std::uint8_t vote_req_rounds = 0;  // retry_undelivered budget used
   };
 
   Instance* instance_for(const InstanceKey& key);
@@ -206,7 +248,10 @@ private:
   /// refunded — see the retention note above kMaxPayloadBytes.
   void release_instance(Instance& inst);
   void emit(MsgType type, const InstanceKey& key, wire::BytesView vote);
+  void emit_to(NodeId to, MsgType type, const InstanceKey& key,
+               wire::BytesView vote);
   void on_send(NodeId from, wire::Decoder& dec);
+  void on_vote_req(NodeId from, wire::Decoder& dec);
   void on_echo(NodeId from, wire::Decoder& dec);
   void on_ready(NodeId from, wire::Decoder& dec);
   void maybe_ready(const InstanceKey& key, Instance& inst,

@@ -17,7 +17,7 @@ RsmReplica::RsmReplica(ReplicaConfig config)
           config_.engine,
           core::EngineConfig{config_.self, config_.n, config_.f,
                              config_.max_rounds, config_.digest_refs, store_,
-                             registry_},
+                             registry_, config_.recovery},
           config_.signer,
           [this](const core::Decision& d) { on_decide(d); })) {
   // Lifecycle tracking hashes every value it marks; with a private
@@ -36,6 +36,13 @@ RsmReplica::RsmReplica(ReplicaConfig config)
 void RsmReplica::on_start(net::IContext& ctx) {
   ctx_ = &ctx;
   engine_->on_start(ctx);
+  ctx_ = nullptr;
+}
+
+void RsmReplica::on_timer(net::IContext& ctx, std::uint64_t token) {
+  ctx_ = &ctx;
+  engine_->on_timer(ctx, token);
+  drain_pending_confirmations();
   ctx_ = nullptr;
 }
 
@@ -138,6 +145,14 @@ void RsmReplica::on_new_batch(NodeId from, wire::Decoder& dec,
   // Register the body immediately: peers may pull it by reference the
   // moment our disclosure/init mentions it.
   store_->put(value);
+  if (engine_->decided_set().contains(value)) {
+    // A retransmitted batch whose value is already decided: the original
+    // decide notification must have been lost (engines notify only
+    // set-growing decisions, so it will not repeat on its own). Answer
+    // this sender directly with the current decided state.
+    ctx_->send(from, encode_decide_frame(engine_->decided_set()));
+    return;
+  }
   engine_->submit(std::move(value));
 }
 
@@ -162,23 +177,28 @@ void RsmReplica::on_decide(const core::Decision& decision) {
   // Clients occupy every node id ≥ n. Decided state is cumulative, so
   // the digest form keeps this O(32·|set|) per notification instead of
   // re-shipping every command body on every decision.
+  const wire::Bytes frame = encode_decide_frame(decision.set);
+  const std::size_t total = ctx_->node_count();
+  for (NodeId client = static_cast<NodeId>(config_.n); client < total;
+       ++client) {
+    ctx_->send(client, frame);
+  }
+}
+
+wire::Bytes RsmReplica::encode_decide_frame(const ValueSet& set) const {
   wire::Encoder enc;
   if (config_.digest_decide_notifications) {
     enc.u8(static_cast<std::uint8_t>(core::MsgType::kRsmDecideDigest));
-    enc.uvarint(decision.set.size());
-    for (const Value& v : decision.set) {
+    enc.uvarint(set.size());
+    for (const Value& v : set) {
       const auto d = crypto::Sha256::hash(std::span(v.data(), v.size()));
       enc.raw(std::span(d.data(), d.size()));
     }
   } else {
     enc.u8(static_cast<std::uint8_t>(core::MsgType::kRsmDecide));
-    lattice::encode_value_set(enc, decision.set);
+    lattice::encode_value_set(enc, set);
   }
-  const std::size_t total = ctx_->node_count();
-  for (NodeId client = static_cast<NodeId>(config_.n); client < total;
-       ++client) {
-    ctx_->send(client, enc.view());
-  }
+  return enc.take();
 }
 
 void RsmReplica::drain_pending_confirmations() {

@@ -49,6 +49,9 @@ struct ReplicaConfig {
   /// hashes every decided value); pass a shared registry to get the
   /// per-stage latency histograms.
   std::shared_ptr<obs::Registry> registry;
+  /// Opt-in lossy-link recovery, forwarded into the backing engine (see
+  /// core::RecoveryConfig). Default off.
+  core::RecoveryConfig recovery;
 };
 
 class RsmReplica : public net::IProcess {
@@ -58,6 +61,9 @@ public:
   void on_start(net::IContext& ctx) override;
   void on_message(net::IContext& ctx, NodeId from,
                   wire::BytesView payload) override;
+  /// Recovery ticks belong to the engine; decisions made during a
+  /// stall-recovery pass still notify clients (ctx_ is set around it).
+  void on_timer(net::IContext& ctx, std::uint64_t token) override;
 
   [[nodiscard]] const core::IAgreementEngine& engine() const {
     return *engine_;
@@ -96,6 +102,9 @@ private:
   void on_new_batch(NodeId from, wire::Decoder& dec,
                     wire::BytesView frame);
   void on_decide(const core::Decision& decision);
+  /// Encodes one decide notification (Alg. 5 line 5) for `set`, in the
+  /// configured full-value or digest form.
+  [[nodiscard]] wire::Bytes encode_decide_frame(const ValueSet& set) const;
   void drain_pending_confirmations();
 
   ReplicaConfig config_;

@@ -35,6 +35,7 @@ BodyFetcher::BodyFetcher(Config config, std::shared_ptr<BodyStore> store,
   stats_.parked = registry_->counter(p + "parked");
   stats_.parked_dropped =
       registry_->counter(p + "parked_dropped", /*warning=*/true);
+  stats_.rearms = registry_->counter(p + "rearms");
 }
 
 void BodyFetcher::add_candidates(FetchState& state,
@@ -123,6 +124,36 @@ void BodyFetcher::sweep() {
     }
   }
   for (auto& replay : ready) replay();
+}
+
+std::size_t BodyFetcher::retry_exhausted() {
+  std::size_t rearmed = 0;
+  for (auto& [digest, state] : fetches_) {
+    if (state.auto_rearms >= config_.max_auto_rearms) continue;
+    // Only fetches a parked thunk still needs are worth more traffic.
+    bool needed = false;
+    for (const Pending& p : pending_) {
+      if (p.missing.contains(digest)) {
+        needed = true;
+        break;
+      }
+    }
+    if (!needed) continue;
+    // A recovery pass means the owner saw a full stall window with no
+    // progress, so any request still marked outstanding (or its reply)
+    // is presumed dropped. Nothing else ever clears that mark on a
+    // lossy link — a single lost kFetchBody would otherwise wedge the
+    // digest forever behind the single-flight dedup.
+    state.outstanding.clear();
+    ++state.auto_rearms;
+    state.next = 0;  // full fresh rotation: providers may hold it by now
+    ++stats_.rearms;
+    registry_->trace_event(config_.self, obs::EventKind::kFetchRearm,
+                           obs::id64(digest), state.auto_rearms);
+    pump(digest, state);
+    ++rearmed;
+  }
+  return rearmed;
 }
 
 void BodyFetcher::await(const std::vector<Digest>& missing,

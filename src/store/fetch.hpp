@@ -18,9 +18,13 @@
 //
 // Termination: rotation visits each candidate at most once per arming.
 // If every peer answers not-found the fetch goes dormant (exhausted)
-// until a *new* frame references the digest, which re-arms the rotation.
-// That keeps unsatisfiable Byzantine references from ping-ponging forever
-// (the simulator must quiesce) while real bodies — held by at least f+1
+// until a *new* frame references the digest re-arms the rotation, or the
+// owner's recovery tick calls retry_exhausted() — a *bounded* re-arm
+// (max_auto_rearms per digest) for fetches some parked thunk still
+// needs, so a transiently-unavailable quorum (message loss, a crashed
+// provider) cannot park a delivery forever. Both paths keep
+// unsatisfiable Byzantine references from ping-ponging forever (the
+// simulator must quiesce) while real bodies — held by at least f+1
 // correct processes before any honest reference circulates — are found
 // within one rotation.
 //
@@ -72,6 +76,9 @@ public:
     /// replies keep the rotation moving. 1 is fine for trusted-peer or
     /// unit-test use.
     std::size_t fanout = 1;
+    /// Per-digest budget of automatic re-arms via retry_exhausted().
+    /// Bounds the extra traffic an unsatisfiable digest can ever cost.
+    std::size_t max_auto_rearms = 4;
     /// Observability registry the fetcher registers its counters in
     /// (prefixed "node<self>/fetch/") and records trace events through.
     /// Created internally when null, so per-instance stats stay exact
@@ -93,6 +100,7 @@ public:
     obs::Counter dedup_hits;        // await() joins an in-flight fetch
     obs::Counter parked;            // thunks parked awaiting bodies
     obs::Counter parked_dropped;    // parked-queue cap overflow
+    obs::Counter rearms;            // bounded retry-after-exhaustion passes
   };
 
   using SendFn = std::function<void(NodeId to, wire::Bytes payload)>;
@@ -125,6 +133,12 @@ public:
   /// bodies directly.
   void sweep();
 
+  /// Bounded recovery pass: restarts the rotation of every dormant
+  /// (exhausted) fetch that a parked thunk still waits on, at most
+  /// Config::max_auto_rearms times per digest. Owners call this from
+  /// their recovery tick. Returns the number of fetches re-armed.
+  std::size_t retry_exhausted();
+
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] std::size_t pending_count() const { return pending_.size(); }
   [[nodiscard]] BodyStore& store() { return *store_; }
@@ -140,6 +154,7 @@ private:
     std::vector<NodeId> candidates;  // rotation order, deduped, no self
     std::size_t next = 0;            // next candidate index
     std::set<NodeId> outstanding;    // peers with an unanswered request
+    std::size_t auto_rearms = 0;     // retry_exhausted() budget used
   };
 
   struct Pending {

@@ -21,14 +21,24 @@ BatchRsmScenario::BatchRsmScenario(BatchRsmScenarioOptions options)
   cfg.registry = options_.registry;
   net_ = std::make_unique<net::SimNetwork>(std::move(cfg));
 
+  if (!options_.fault_plan.empty()) {
+    faulty_ = std::make_unique<fault::FaultyNetwork>(options_.fault_plan,
+                                                     options_.registry);
+  }
+  // Every process — replicas, adversaries, clients — goes through the
+  // injector when a plan is set, so adversary traffic faces the same
+  // lossy links correct traffic does.
+  const auto add = [this](std::unique_ptr<net::IProcess> p) {
+    net_->add_process(faulty_ ? faulty_->wrap(std::move(p)) : std::move(p));
+  };
+
   for (net::NodeId id = 0; id < options_.n; ++id) {
     if (options_.is_byzantine(id)) {
       if (options_.adversary) {
         auto p = options_.adversary(id);
-        net_->add_process(p ? std::move(p)
-                            : std::make_unique<core::SilentProcess>());
+        add(p ? std::move(p) : std::make_unique<core::SilentProcess>());
       } else {
-        net_->add_process(std::make_unique<core::SilentProcess>());
+        add(std::make_unique<core::SilentProcess>());
       }
       continue;
     }
@@ -42,9 +52,10 @@ BatchRsmScenario::BatchRsmScenario(BatchRsmScenarioOptions options)
     rc.digest_refs = options_.digest_refs;
     rc.digest_decide_notifications = options_.digest_refs;
     rc.registry = options_.registry;
+    rc.recovery = options_.recovery;
     auto replica = std::make_unique<rsm::RsmReplica>(rc);
     replicas_.push_back(replica.get());
-    net_->add_process(std::move(replica));
+    add(std::move(replica));
   }
 
   for (std::size_t c = 0; c < options_.clients; ++c) {
@@ -71,10 +82,11 @@ BatchRsmScenario::BatchRsmScenario(BatchRsmScenarioOptions options)
     cc.builder.max_commands = options_.batch_size;
     cc.max_in_flight = options_.max_in_flight;
     cc.registry = options_.registry;
+    cc.retry = options_.retry;
     auto client = std::make_unique<batch::BatchClient>(
         cc, signers_->signer_for(id), std::move(commands));
     clients_.push_back(client.get());
-    net_->add_process(std::move(client));
+    add(std::move(client));
   }
 }
 

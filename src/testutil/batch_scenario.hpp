@@ -9,6 +9,7 @@
 
 #include "batch/client.hpp"
 #include "crypto/signer.hpp"
+#include "fault/fault.hpp"
 #include "net/sim_network.hpp"
 #include "rsm/replica.hpp"
 #include "testutil/scenario.hpp"
@@ -38,6 +39,15 @@ struct BatchRsmScenarioOptions : ScenarioOptions {
   /// the whole system. Null keeps the pre-obs behaviour: each component
   /// uses a private registry and lifecycle tracking stays off.
   std::shared_ptr<obs::Registry> registry;
+  /// Fault injection: when non-empty, every process is wrapped by a
+  /// FaultyNetwork executing this plan (drops / duplicates / reorders /
+  /// partitions / crashes). Pair with `recovery` and `retry` below —
+  /// under loss the protocols need their retransmit paths to terminate.
+  fault::FaultPlan fault_plan;
+  /// Engine-level stall recovery, forwarded to every correct replica.
+  core::RecoveryConfig recovery;
+  /// Client-level batch retransmission, forwarded to every client.
+  batch::RetryPolicy retry;
 };
 
 class BatchRsmScenario {
@@ -69,10 +79,15 @@ public:
   [[nodiscard]] const crypto::ISignerSet& signers() const {
     return *signers_;
   }
+  /// The fault injector, present iff options.fault_plan was non-empty.
+  [[nodiscard]] const fault::FaultInjector* fault_injector() const {
+    return faulty_ ? &faulty_->injector() : nullptr;
+  }
 
 private:
   BatchRsmScenarioOptions options_;
   std::shared_ptr<crypto::ISignerSet> signers_;
+  std::unique_ptr<fault::FaultyNetwork> faulty_;  // engaged iff plan set
   std::unique_ptr<net::SimNetwork> net_;
   std::vector<rsm::RsmReplica*> replicas_;
   std::vector<batch::BatchClient*> clients_;

@@ -9,6 +9,11 @@ namespace bla::testutil {
 
 RsmScenario::RsmScenario(RsmScenarioOptions options)
     : options_(std::move(options)) {
+  if (options_.engine == core::EngineKind::kGsbs) {
+    // GSbS signs every batch and ack: one key per replica. Clients never
+    // sign on the per-command path, so the set stops at n.
+    signers_ = crypto::make_hmac_signer_set(options_.n, options_.seed);
+  }
   net::SimNetwork::Config cfg;
   cfg.seed = options_.seed;
   cfg.delay = std::move(options_.delay);
@@ -25,8 +30,14 @@ RsmScenario::RsmScenario(RsmScenarioOptions options)
       }
       continue;
     }
-    auto replica = std::make_unique<rsm::RsmReplica>(rsm::ReplicaConfig{
-        id, options_.n, options_.f, options_.max_rounds});
+    rsm::ReplicaConfig rc;
+    rc.self = id;
+    rc.n = options_.n;
+    rc.f = options_.f;
+    rc.max_rounds = options_.max_rounds;
+    rc.engine = options_.engine;
+    if (signers_) rc.signer = signers_->signer_for(id);
+    auto replica = std::make_unique<rsm::RsmReplica>(rc);
     replicas_.push_back(replica.get());
     net_->add_process(std::move(replica));
   }

@@ -18,6 +18,10 @@ struct RsmScenarioOptions : ScenarioOptions {
   /// Per client: number of (update, read) pairs in the script.
   std::size_t op_pairs = 3;
   std::uint64_t max_rounds = 60;
+  /// Engine backing the replicas. kGsbs wires an HMAC signer set (one
+  /// key per replica) so the §7.1 properties — read confirmations
+  /// included — are exercised against the signature-based engine too.
+  core::EngineKind engine = core::EngineKind::kGwts;
 };
 
 class RsmScenario {
@@ -41,6 +45,7 @@ public:
 
 private:
   RsmScenarioOptions options_;
+  std::shared_ptr<crypto::ISignerSet> signers_;  // engaged iff kGsbs
   std::unique_ptr<net::SimNetwork> net_;
   std::vector<rsm::RsmReplica*> replicas_;
   std::vector<rsm::RsmClient*> clients_;

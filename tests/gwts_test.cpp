@@ -201,7 +201,10 @@ TEST(Gwts, EmptyBatchesStillRotateRounds) {
   procs[0]->submit(lattice::value_from("only-value"));
   net.run();
   for (const GwtsProcess* p : procs) {
-    ASSERT_EQ(p->decisions().size(), 2u);
+    // Both rounds ran to completion (the budget is exhausted), but only
+    // set-growing decisions are recorded — an idle round adds nothing.
+    EXPECT_EQ(p->current_round(), 2u);
+    ASSERT_GE(p->decisions().size(), 1u);
     EXPECT_TRUE(p->decisions().back().set.contains(
         lattice::value_from("only-value")));
   }
@@ -225,7 +228,10 @@ TEST(Gwts, LateSubmissionLandsInLaterRound) {
   procs[1]->submit(lattice::value_from("late"));
   net.run();
   for (const GwtsProcess* p : procs) {
-    ASSERT_GE(p->decisions().size(), 6u);
+    // All six rounds ran; the recorded decisions are just the growth
+    // events ("early" lands, then "late" lands — possibly merged).
+    EXPECT_EQ(p->current_round(), 6u);
+    ASSERT_GE(p->decisions().size(), 1u);
     EXPECT_TRUE(p->decisions().back().set.contains(
         lattice::value_from("early")));
   }

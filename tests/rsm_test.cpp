@@ -210,6 +210,40 @@ TEST(Rsm, AsynchronousDelays) {
             "");
 }
 
+TEST(Rsm, ReadConfirmationsAgainstGsbsReplicas) {
+  // Alg. 7 read confirmations were historically only exercised against
+  // the GWTS engine. The signature-based GSbS engine serves the same
+  // replica protocol — and must yield the same §7.1 properties even with
+  // a Byzantine slot fabricating decide notifications at the clients.
+  RsmScenarioOptions options;
+  options.engine = core::EngineKind::kGsbs;
+  options.n = 4;
+  options.f = 1;
+  options.clients = 2;
+  options.op_pairs = 3;
+  options.max_rounds = 80;
+  options.adversary = [](NodeId) -> std::unique_ptr<net::IProcess> {
+    return std::make_unique<FakeDecider>(4);
+  };
+  RsmScenario scenario(std::move(options));
+  scenario.run();
+  ASSERT_TRUE(scenario.all_clients_done());
+  const auto ops = scenario.all_ops();
+  EXPECT_EQ(testutil::check_rsm_properties(ops,
+                                           scenario.submitted_commands()),
+            "");
+  // Confirmed reads only surface engine-committed commands: the forged
+  // decide value can never gather f+1 confirmations.
+  for (const auto& op : ops) {
+    if (!op.is_read) continue;
+    for (const core::Value& v : op.read_value) {
+      const auto cmd = decode_command(v);
+      ASSERT_TRUE(cmd.has_value());
+      EXPECT_NE(cmd->client, 999u) << "forged command leaked into a read";
+    }
+  }
+}
+
 TEST(Rsm, ReplicaStateMaterializesDecidedCommands) {
   RsmScenarioOptions options;
   options.n = 4;
