@@ -18,6 +18,8 @@
 //   bench_fault_fuzz --engine=gsbs --net=sim # one engine / one runtime
 //   bench_fault_fuzz --spec='seed=7;...'     # replay one printed repro
 //   bench_fault_fuzz --shrink --spec='...'   # and minimize it
+//   bench_fault_fuzz --ckpt=8 --laggard      # force checkpointing on
+//                                            # every generated schedule
 
 #include <cstdio>
 #include <cstring>
@@ -42,6 +44,11 @@ struct Options {
   std::string spec;  // non-empty: replay this one schedule
   bool shrink = true;
   std::string out = "fuzz_failures.txt";
+  // Overrides applied to every *generated* schedule (the nightly
+  // checkpointing sweep leg); the generator's own random draw already
+  // covers mixed on/off.
+  std::uint64_t ckpt = 0;   // nonzero: force checkpoint_interval
+  bool laggard = false;     // force the laggard crash window
 };
 
 bool parse_args(int argc, char** argv, Options& opt) {
@@ -85,6 +92,11 @@ bool parse_args(int argc, char** argv, Options& opt) {
       opt.shrink = true;
     } else if (arg == "--no-shrink") {
       opt.shrink = false;
+    } else if (const char* v = value("--ckpt=")) {
+      opt.ckpt = std::strtoull(v, nullptr, 10);
+      if (opt.ckpt == 0) return false;
+    } else if (arg == "--laggard") {
+      opt.laggard = true;
     } else {
       return false;
     }
@@ -125,7 +137,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s [--seed=N | --seeds=A:B] "
                  "[--engine=gwts|gsbs|both] [--net=sim|thread|both] "
-                 "[--spec='...'] [--shrink|--no-shrink] [--out=FILE]\n",
+                 "[--spec='...'] [--shrink|--no-shrink] [--out=FILE] "
+                 "[--ckpt=N] [--laggard]\n",
                  argv[0]);
     return 2;
   }
@@ -147,8 +160,9 @@ int main(int argc, char** argv) {
       for (const EngineKind engine : opt.engines) {
         for (const NetKind net : opt.nets) {
           ++total;
-          const FuzzSchedule s =
-              bla::fault::generate_schedule(seed, engine, net);
+          FuzzSchedule s = bla::fault::generate_schedule(seed, engine, net);
+          if (opt.ckpt != 0) s.checkpoint_interval = opt.ckpt;
+          if (opt.laggard) s.laggard = true;
           if (!run_one(s, opt.shrink, failures)) ++violations;
         }
       }

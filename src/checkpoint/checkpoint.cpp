@@ -1,0 +1,414 @@
+#include "checkpoint/checkpoint.hpp"
+
+#include <algorithm>
+
+namespace bla::checkpoint {
+
+namespace {
+/// Byzantine peers can mint roots for free; everything keyed by a root
+/// is capped and shed (counted) rather than grown without bound.
+constexpr std::size_t kMaxPendingRoots = 64;
+constexpr std::size_t kMaxParkedReplays = 256;
+constexpr std::size_t kMaxAdoptedSnapshots = 16;
+constexpr std::size_t kMaxPullRearms = 8;
+
+Digest read_digest(wire::Decoder& dec) {
+  const wire::BytesView raw = dec.raw(crypto::Sha256::kDigestSize);
+  Digest d{};
+  std::copy(raw.begin(), raw.end(), d.begin());
+  return d;
+}
+
+void write_digest(wire::Encoder& enc, const Digest& d) {
+  enc.raw(std::span(d.data(), d.size()));
+}
+
+std::vector<Hash> element_digests(const std::vector<Value>& elems) {
+  std::vector<Hash> out;
+  out.reserve(elems.size());
+  for (const Value& v : elems) out.push_back(store::body_digest(v));
+  return out;
+}
+}  // namespace
+
+CheckpointManager::CheckpointManager(Config config, SendFn send,
+                                     AdoptFn on_adopt)
+    : config_(std::move(config)),
+      send_(std::move(send)),
+      on_adopt_(std::move(on_adopt)) {
+  if (config_.vouch_quorum == 0) config_.vouch_quorum = config_.f + 1;
+  if (!config_.registry) config_.registry = std::make_shared<obs::Registry>();
+  const std::string p =
+      "node" + std::to_string(config_.self) + "/checkpoint/";
+  auto& reg = *config_.registry;
+  taken_ = reg.counter(p + "taken");
+  forced_ = reg.counter(p + "forced");
+  evicted_ = reg.counter(p + "bodies_evicted");
+  reserved_ = reg.counter(p + "bodies_reserved");
+  pulls_sent_ = reg.counter(p + "pulls_sent");
+  snapshots_served_ = reg.counter(p + "snapshots_served");
+  snapshot_rejects_ = reg.counter(p + "snapshot_rejects", /*warning=*/true);
+  adopted_count_ = reg.counter(p + "snapshots_adopted");
+  adopted_quorum_ = reg.counter(p + "snapshots_adopted_quorum");
+  replays_parked_ = reg.counter(p + "replays_parked");
+  replays_dropped_ = reg.counter(p + "replays_dropped", /*warning=*/true);
+  rearms_ = reg.counter(p + "rearms");
+  elements_gauge_ = reg.gauge(p + "elements");
+  store_bodies_gauge_ = reg.gauge(p + "store_bodies");
+  if (enabled() && config_.store) {
+    config_.store->set_fallback(
+        [this](const Digest& d) { return fallback_lookup(d); });
+  }
+}
+
+CheckpointManager::~CheckpointManager() {
+  if (enabled() && config_.store) config_.store->set_fallback(nullptr);
+}
+
+// -- checkpoint commit ------------------------------------------------------
+
+bool CheckpointManager::maybe_checkpoint(const ValueSet& decided) {
+  if (!enabled()) return false;
+  if (decided.size() < own_.size() + config_.interval) return false;
+  return take(decided, /*forced=*/false);
+}
+
+bool CheckpointManager::force_checkpoint(const ValueSet& decided) {
+  if (!enabled()) return false;
+  if (decided.size() <= own_.size()) return false;
+  return take(decided, /*forced=*/true);
+}
+
+bool CheckpointManager::take(const ValueSet& decided, bool forced) {
+  // Leaf order = canonical (sorted) element order, so any two replicas
+  // checkpointing the same decided set derive the same root, no matter
+  // which intermediate decisions each observed.
+  auto elements =
+      std::make_shared<const std::vector<Value>>(decided.elements());
+  const std::vector<Hash> leaves = element_digests(*elements);
+  Snapshot snap;
+  snap.seq = own_.seq + 1;
+  snap.root = MerkleForest::commitment_of(leaves);
+  snap.elements = std::move(elements);
+  previous_ = std::move(own_);
+  own_ = std::move(snap);
+  taken_.inc();
+  if (forced) forced_.inc();
+  elements_gauge_.set(static_cast<double>(own_.size()));
+  // Collapse the store: checkpointed bodies are re-served from the
+  // snapshot through the fallback hook, so the live map can shed them.
+  if (config_.store) {
+    for (const Hash& d : leaves) {
+      if (config_.store->erase(d)) evicted_.inc();
+    }
+    store_bodies_gauge_.set(
+        static_cast<double>(config_.store->body_count()));
+  }
+  // Foreign snapshots fully covered by the new own checkpoint are dead
+  // weight (covered_any answers from own_ first).
+  for (auto it = adopted_.begin(); it != adopted_.end();) {
+    const std::vector<Value>& elems = *it->second.elements;
+    const bool subsumed =
+        std::all_of(elems.begin(), elems.end(),
+                    [this](const Value& v) { return covered(v); });
+    it = subsumed ? adopted_.erase(it) : ++it;
+  }
+  reindex();
+  config_.registry->trace_event(config_.self, obs::EventKind::kDecide,
+                                own_.seq, own_.size());
+  return true;
+}
+
+void CheckpointManager::reindex() {
+  body_index_.clear();
+  const auto index_snapshot = [this](const Snapshot& s) {
+    if (!s.elements) return;
+    for (std::size_t i = 0; i < s.elements->size(); ++i) {
+      body_index_.try_emplace(store::body_digest((*s.elements)[i]),
+                              s.elements, i);
+    }
+  };
+  index_snapshot(own_);
+  index_snapshot(previous_);
+  for (const auto& [root, snap] : adopted_) index_snapshot(snap);
+}
+
+std::shared_ptr<const wire::Bytes> CheckpointManager::fallback_lookup(
+    const Digest& d) const {
+  const auto it = body_index_.find(d);
+  if (it == body_index_.end()) return nullptr;
+  reserved_.inc();
+  const Value& v = (*it->second.first)[it->second.second];
+  return std::make_shared<const wire::Bytes>(v);
+}
+
+// -- coverage queries -------------------------------------------------------
+
+bool CheckpointManager::covered(const Value& v) const {
+  if (!own_.elements) return false;
+  return std::binary_search(own_.elements->begin(), own_.elements->end(), v);
+}
+
+bool CheckpointManager::covered_any(const Value& v) const {
+  if (covered(v)) return true;
+  for (const auto& [root, snap] : adopted_) {
+    if (std::binary_search(snap.elements->begin(), snap.elements->end(), v)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool CheckpointManager::knows_root(const Digest& root) const {
+  return find_root(root) != nullptr;
+}
+
+const Snapshot* CheckpointManager::find_root(const Digest& root) const {
+  if (own_.seq > 0 && own_.root == root) return &own_;
+  if (previous_.seq > 0 && previous_.root == root) return &previous_;
+  const auto it = adopted_.find(root);
+  if (it != adopted_.end()) return &it->second;
+  return nullptr;
+}
+
+bool CheckpointManager::elements_leq(const ValueSet& full) const {
+  if (!own_.elements) return true;
+  for (const Value& v : *own_.elements) {
+    if (!full.contains(v)) return false;
+  }
+  return true;
+}
+
+// -- compact set codec ------------------------------------------------------
+
+void CheckpointManager::encode_compact_set(wire::Encoder& enc,
+                                           const ValueSet& delta,
+                                           bool refs) const {
+  const bool with_root = enabled() && own_.seq > 0;
+  enc.u8(with_root ? 1 : 0);
+  if (with_root) write_digest(enc, own_.root);
+  store::encode_value_set_ref(enc, delta, config_.store.get(), refs);
+}
+
+CheckpointManager::CompactSet CheckpointManager::decode_compact_set(
+    wire::Decoder& dec, store::RefResolver& resolver, NodeId from) {
+  CompactSet out;
+  const std::uint8_t flags = dec.u8();
+  if (flags & ~std::uint8_t{1}) throw wire::WireError("bad compact flags");
+  if (flags & 1) out.root = read_digest(dec);
+  out.set = resolver.value_set(dec);
+  if (out.root) {
+    vouch(*out.root, from);
+    if (const Snapshot* snap = find_root(*out.root)) {
+      out.set.merge(ValueSet::from_sorted(*snap->elements));
+      out.expanded = true;
+    }
+  } else {
+    out.expanded = true;  // nothing to expand
+  }
+  return out;
+}
+
+// -- vouching + pull protocol ----------------------------------------------
+
+void CheckpointManager::vouch(const Digest& root, NodeId from) {
+  if (!enabled() || knows_root(root)) return;
+  if (from == config_.self || from >= static_cast<NodeId>(config_.n)) return;
+  auto it = pending_.find(root);
+  if (it == pending_.end()) {
+    if (pending_.size() >= kMaxPendingRoots) return;
+    it = pending_.emplace(root, PendingRoot{}).first;
+  }
+  it->second.vouchers.insert(from);
+  try_adopt(root);
+}
+
+void CheckpointManager::await_root(const Digest& root, NodeId hint,
+                                   std::function<void()> replay) {
+  if (!enabled()) return;
+  auto it = pending_.find(root);
+  if (it == pending_.end()) {
+    if (pending_.size() >= kMaxPendingRoots) {
+      replays_dropped_.inc();
+      return;
+    }
+    it = pending_.emplace(root, PendingRoot{}).first;
+  }
+  PendingRoot& st = it->second;
+  if (replay) {
+    if (st.replays.size() >= kMaxParkedReplays) {
+      st.replays.erase(st.replays.begin());
+      replays_dropped_.inc();
+    }
+    st.replays.push_back(std::move(replay));
+    replays_parked_.inc();
+  }
+  add_candidates(st, hint);
+  if (!st.verified && !st.outstanding) send_pull(it->first, st);
+  // The hint peer implicitly references the root too.
+  vouch(root, hint);
+}
+
+void CheckpointManager::add_candidates(PendingRoot& st, NodeId hint) {
+  const auto add = [&](NodeId id) {
+    if (id == config_.self || id >= static_cast<NodeId>(config_.n)) return;
+    if (std::find(st.candidates.begin(), st.candidates.end(), id) !=
+        st.candidates.end()) {
+      return;
+    }
+    st.candidates.push_back(id);
+  };
+  add(hint);
+  for (NodeId id = 0; id < static_cast<NodeId>(config_.n); ++id) add(id);
+}
+
+void CheckpointManager::send_pull(const Digest& root, PendingRoot& st) {
+  if (st.next >= st.candidates.size()) return;  // rotation exhausted
+  const NodeId to = st.candidates[st.next++];
+  wire::Encoder enc;
+  enc.u8(static_cast<std::uint8_t>(MsgType::kCkptPull));
+  write_digest(enc, root);
+  st.outstanding = true;
+  pulls_sent_.inc();
+  send_(to, enc.take());
+}
+
+std::size_t CheckpointManager::retry_pending() {
+  std::size_t sent = 0;
+  for (auto& [root, st] : pending_) {
+    if (st.verified || st.replays.empty()) continue;
+    if (st.rearms >= kMaxPullRearms) continue;
+    ++st.rearms;
+    rearms_.inc();
+    if (st.next >= st.candidates.size()) st.next = 0;  // restart rotation
+    send_pull(root, st);
+    ++sent;
+  }
+  return sent;
+}
+
+bool CheckpointManager::handle(NodeId from, std::uint8_t type,
+                               wire::Decoder& dec) {
+  if (!is_checkpoint_type(type)) return false;
+  try {
+    if (type == static_cast<std::uint8_t>(MsgType::kCkptPull)) {
+      on_pull(from, dec);
+    } else {
+      on_snapshot(from, dec);
+    }
+  } catch (const wire::WireError&) {
+    snapshot_rejects_.inc();  // malformed: Byzantine sender
+  }
+  return true;
+}
+
+void CheckpointManager::on_pull(NodeId from, wire::Decoder& dec) {
+  const Digest root = read_digest(dec);
+  dec.expect_done();
+  wire::Encoder enc;
+  enc.u8(static_cast<std::uint8_t>(MsgType::kCkptSnapshot));
+  write_digest(enc, root);
+  const Snapshot* snap = find_root(root);
+  if (snap == nullptr) {
+    enc.u8(0);  // not found: the requester rotates to its next candidate
+    send_(from, enc.take());
+    return;
+  }
+  enc.u8(1);
+  // Full-set batch proof: targets are every leaf position, so the proof
+  // needs no sibling hashes — the verifier recomputes every root from
+  // the elements themselves and checks the commitment.
+  const std::vector<Value>& elems = *snap->elements;
+  enc.uvarint(elems.size());       // num_leaves
+  enc.uvarint(elems.size());       // proof targets (0..n-1, implied)
+  enc.uvarint(0);                  // proof hashes
+  enc.uvarint(elems.size());       // elements, canonical order
+  for (const Value& v : elems) lattice::encode_value(enc, v);
+  snapshots_served_.inc();
+  send_(from, enc.take());
+}
+
+void CheckpointManager::on_snapshot(NodeId /*from*/, wire::Decoder& dec) {
+  const Digest root = read_digest(dec);
+  const auto it = pending_.find(root);
+  if (it == pending_.end()) {
+    dec.expect_done();  // unsolicited (or already adopted); drop
+    return;
+  }
+  PendingRoot& st = it->second;
+  st.outstanding = false;
+  const std::uint8_t found = dec.u8();
+  if (found == 0) {
+    dec.expect_done();
+    send_pull(root, st);  // rotate
+    return;
+  }
+  const std::uint64_t num_leaves = dec.uvarint();
+  const std::uint64_t target_count = dec.uvarint();
+  const std::uint64_t hash_count = dec.uvarint();
+  if (num_leaves > lattice::kMaxSetElements ||
+      target_count != num_leaves || hash_count != 0) {
+    throw wire::WireError("bad snapshot shape");
+  }
+  const std::uint64_t elem_count = dec.uvarint();
+  if (elem_count != num_leaves) throw wire::WireError("bad snapshot count");
+  std::vector<Value> elems;
+  elems.reserve(elem_count);
+  for (std::uint64_t i = 0; i < elem_count; ++i) {
+    elems.push_back(lattice::decode_value(dec));
+    if (i > 0 && !(elems[i - 1] < elems[i])) {
+      throw wire::WireError("snapshot not canonical");
+    }
+  }
+  dec.expect_done();
+  // Verify the accumulator batch proof (full-set form) against the root.
+  BatchProof proof;
+  proof.targets.resize(elems.size());
+  for (std::uint64_t i = 0; i < elems.size(); ++i) proof.targets[i] = i;
+  const std::vector<Hash> leaves = element_digests(elems);
+  if (!MerkleForest::verify(root, elems.size(), proof, leaves)) {
+    snapshot_rejects_.inc();
+    send_pull(root, st);  // garbage: rotate to the next provider
+    return;
+  }
+  Snapshot snap;
+  snap.seq = 0;  // foreign snapshots carry no own-sequence meaning
+  snap.root = root;
+  snap.elements = std::make_shared<const std::vector<Value>>(std::move(elems));
+  st.verified = std::move(snap);
+  st.known_safe =
+      config_.element_known &&
+      std::all_of(st.verified->elements->begin(),
+                  st.verified->elements->end(), config_.element_known);
+  try_adopt(root);
+}
+
+void CheckpointManager::try_adopt(const Digest& root) {
+  const auto it = pending_.find(root);
+  if (it == pending_.end() || !it->second.verified) return;
+  PendingRoot& st = it->second;
+  const bool quorum = st.vouchers.size() >= config_.vouch_quorum;
+  if (!quorum && !st.known_safe) return;
+  adopt(root, std::move(*st.verified), quorum);
+}
+
+void CheckpointManager::adopt(const Digest& root, Snapshot snap, bool quorum) {
+  const auto it = pending_.find(root);
+  std::vector<std::function<void()>> replays;
+  if (it != pending_.end()) {
+    replays = std::move(it->second.replays);
+    pending_.erase(it);
+  }
+  if (adopted_.size() >= kMaxAdoptedSnapshots) {
+    adopted_.erase(adopted_.begin());  // shed; covered_any just narrows
+  }
+  adopted_.emplace(root, std::move(snap));
+  reindex();
+  adopted_count_.inc();
+  if (quorum) adopted_quorum_.inc();
+  const Snapshot& stored = adopted_.at(root);
+  if (on_adopt_) on_adopt_(stored, quorum);
+  for (auto& replay : replays) replay();
+}
+
+}  // namespace bla::checkpoint

@@ -35,6 +35,54 @@ wire::Bytes disclosure_payload(const Value& v) {
   return enc.take();
 }
 
+// GWTS ack-req frames open with the compact-set flags byte
+// ([flags u8][checkpoint root 32B when flags&1] ahead of the value set —
+// checkpoint::CheckpointManager::encode_compact_set); WTS frames carry
+// the bare set and no round. The adversaries must speak both dialects to
+// stay credible attackers: try the GWTS shape first (validated by its
+// trailing expect_done), fall back to the WTS shape. Ref-coded values
+// parse fine either way — a reference is still one wire bytes() string.
+struct ParsedAckReq {
+  ValueSet set;
+  std::uint64_t ts = 0;
+  bool has_round = false;
+  std::uint64_t round = 0;
+  bool gwts_compact = false;  // frame carried the flags byte
+};
+
+bool parse_ack_req(wire::BytesView payload, ParsedAckReq& out) {
+  try {
+    wire::Decoder dec(payload);
+    if (static_cast<MsgType>(dec.u8()) != MsgType::kAckReq) return false;
+    const std::uint8_t flags = dec.u8();
+    if (flags <= 1) {
+      if ((flags & 1) != 0) (void)dec.raw(32);  // skip the root digest
+      out.set = lattice::decode_value_set(dec);
+      out.ts = dec.u64();
+      out.round = dec.u64();
+      out.has_round = true;
+      dec.expect_done();
+      out.gwts_compact = true;
+      return true;
+    }
+  } catch (const wire::WireError&) {
+  }
+  out = ParsedAckReq{};
+  try {
+    wire::Decoder dec(payload);
+    if (static_cast<MsgType>(dec.u8()) != MsgType::kAckReq) return false;
+    out.set = lattice::decode_value_set(dec);
+    out.ts = dec.u64();
+    if (dec.remaining() >= 8) {  // pre-compact GWTS shape (round tail)
+      out.round = dec.u64();
+      out.has_round = true;
+    }
+    return true;
+  } catch (const wire::WireError&) {
+    return false;
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -64,18 +112,13 @@ void EquivocatingDiscloser::on_start(net::IContext& ctx) {
 void EquivocatingDiscloser::on_message(net::IContext& ctx, NodeId from,
                                        wire::BytesView payload) {
   // Ack any ack request (blind), to look like a live acceptor.
-  try {
-    wire::Decoder dec(payload);
-    if (static_cast<MsgType>(dec.u8()) != MsgType::kAckReq) return;
-    ValueSet set = lattice::decode_value_set(dec);
-    const std::uint64_t ts = dec.u64();
-    wire::Encoder enc;
-    enc.u8(static_cast<std::uint8_t>(MsgType::kAck));
-    lattice::encode_value_set(enc, set);
-    enc.u64(ts);
-    ctx.send(from, enc.take());
-  } catch (const wire::WireError&) {
-  }
+  ParsedAckReq req;
+  if (!parse_ack_req(payload, req)) return;
+  wire::Encoder enc;
+  enc.u8(static_cast<std::uint8_t>(MsgType::kAck));
+  lattice::encode_value_set(enc, req.set);
+  enc.u64(req.ts);
+  ctx.send(from, enc.take());
 }
 
 // ---------------------------------------------------------------------------
@@ -84,30 +127,28 @@ void EquivocatingDiscloser::on_message(net::IContext& ctx, NodeId from,
 
 void UnsafeNackSpammer::on_message(net::IContext& ctx, NodeId from,
                                    wire::BytesView payload) {
-  try {
-    wire::Decoder dec(payload);
-    if (static_cast<MsgType>(dec.u8()) != MsgType::kAckReq) return;
-    (void)lattice::decode_value_set(dec);
-    const std::uint64_t ts = dec.u64();
+  ParsedAckReq req;
+  if (!parse_ack_req(payload, req)) return;
 
-    // Nack with a fabricated value nobody disclosed: never SAFE anywhere.
-    ValueSet poison;
-    wire::Encoder fake;
-    fake.str("poison");
-    fake.u64(counter_++);
-    fake.u32(ctx.self());
-    poison.insert(fake.take());
+  // Nack with a fabricated value nobody disclosed: never SAFE anywhere.
+  ValueSet poison;
+  wire::Encoder fake;
+  fake.str("poison");
+  fake.u64(counter_++);
+  fake.u32(ctx.self());
+  poison.insert(fake.take());
 
-    wire::Encoder enc;
-    enc.u8(static_cast<std::uint8_t>(MsgType::kNack));
-    lattice::encode_value_set(enc, poison);
-    enc.u64(ts);
-    if (round_field_ != 0 || dec.remaining() > 0) {
-      enc.u64(round_field_);  // GWTS-shaped nack
-    }
-    ctx.send(from, enc.take());
-  } catch (const wire::WireError&) {
+  wire::Encoder enc;
+  enc.u8(static_cast<std::uint8_t>(MsgType::kNack));
+  if (req.gwts_compact) {
+    enc.u8(0x00);  // compact-set flags: no checkpoint root claimed
   }
+  lattice::encode_value_set(enc, poison);
+  enc.u64(req.ts);
+  if (round_field_ != 0 || req.has_round) {
+    enc.u64(round_field_);  // GWTS-shaped nack
+  }
+  ctx.send(from, enc.take());
 }
 
 // ---------------------------------------------------------------------------
@@ -116,19 +157,14 @@ void UnsafeNackSpammer::on_message(net::IContext& ctx, NodeId from,
 
 void PromiscuousAcker::on_message(net::IContext& ctx, NodeId from,
                                   wire::BytesView payload) {
-  try {
-    wire::Decoder dec(payload);
-    if (static_cast<MsgType>(dec.u8()) != MsgType::kAckReq) return;
-    ValueSet set = lattice::decode_value_set(dec);
-    const std::uint64_t ts = dec.u64();
-    wire::Encoder enc;
-    enc.u8(static_cast<std::uint8_t>(MsgType::kAck));
-    lattice::encode_value_set(enc, set);
-    enc.u64(ts);
-    if (dec.remaining() >= 8) enc.u64(dec.u64());  // echo GWTS round field
-    ctx.send(from, enc.take());
-  } catch (const wire::WireError&) {
-  }
+  ParsedAckReq req;
+  if (!parse_ack_req(payload, req)) return;
+  wire::Encoder enc;
+  enc.u8(static_cast<std::uint8_t>(MsgType::kAck));
+  lattice::encode_value_set(enc, req.set);
+  enc.u64(req.ts);
+  if (req.has_round) enc.u64(req.round);  // echo GWTS round field
+  ctx.send(from, enc.take());
 }
 
 // ---------------------------------------------------------------------------
@@ -166,6 +202,7 @@ void RoundJumper::on_start(net::IContext& ctx) {
   proposal.insert(v.take());
   wire::Encoder enc;
   enc.u8(static_cast<std::uint8_t>(MsgType::kAckReq));
+  enc.u8(0x00);  // compact-set flags: GWTS frames always carry the byte
   lattice::encode_value_set(enc, proposal);
   enc.u64(/*ts=*/1);
   enc.u64(/*round=*/jump_to_);

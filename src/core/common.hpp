@@ -110,6 +110,11 @@ enum class MsgType : std::uint8_t {
   // command to every client on every decision. Opt-in per replica
   // (BatchClient matches digests; the plain RsmClient needs values).
   kRsmDecideDigest = 55,
+
+  // 60..61 are the checkpoint snapshot catch-up protocol
+  // (checkpoint::MsgType — kCkptPull / kCkptSnapshot, see
+  // src/checkpoint/checkpoint.hpp). Listed here only to reserve the
+  // range; the checkpoint manager defines and handles them.
 };
 
 }  // namespace bla::core

@@ -16,7 +16,7 @@ std::unique_ptr<IAgreementEngine> make_engine(
       return std::make_unique<GwtsProcess>(
           GwtsConfig{config.self, config.n, config.f, config.max_rounds,
                      config.digest_refs, config.store, config.registry,
-                     config.recovery},
+                     config.recovery, config.checkpoint_interval},
           std::move(on_decide));
     case EngineKind::kGsbs:
       if (!signer) {
@@ -25,7 +25,7 @@ std::unique_ptr<IAgreementEngine> make_engine(
       return std::make_unique<GsbsProcess>(
           GsbsConfig{config.self, config.n, config.f, config.max_rounds,
                      config.digest_refs, config.store, config.registry,
-                     config.recovery},
+                     config.recovery, config.checkpoint_interval},
           std::move(signer), std::move(on_decide));
   }
   throw std::invalid_argument("unknown engine kind");

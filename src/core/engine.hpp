@@ -23,6 +23,10 @@
 #include "obs/registry.hpp"
 #include "store/body_store.hpp"
 
+namespace bla::checkpoint {
+class CheckpointManager;
+}  // namespace bla::checkpoint
+
 namespace bla::core {
 
 /// One emitted decision of the engine's non-decreasing chain.
@@ -47,6 +51,15 @@ public:
   /// a client's read. GWTS answers from its reliably broadcast ack
   /// history; GSbS from the `decided` certificates it has seen.
   [[nodiscard]] virtual bool is_committed(const ValueSet& set) const = 0;
+
+  /// The engine's checkpoint manager, when checkpointing is enabled
+  /// (EngineConfig::checkpoint_interval > 0); null otherwise. Exposed so
+  /// the soak/fuzz harnesses can assert on checkpoint progress and
+  /// laggard adoption without widening the engine contract.
+  [[nodiscard]] virtual const checkpoint::CheckpointManager* checkpoints()
+      const {
+    return nullptr;
+  }
 };
 
 /// Digest of a set's canonical encoding (cardinality + sorted elements,
@@ -82,6 +95,11 @@ struct EngineConfig {
   std::shared_ptr<obs::Registry> registry;
   /// Opt-in lossy-link recovery (see core::RecoveryConfig). Default off.
   RecoveryConfig recovery;
+  /// Checkpoint + unified GC (src/checkpoint/): commit the decided set
+  /// each time it grows this many elements, then collapse downstream
+  /// state (store eviction, [root]+delta frames, Bracha epoch expiry).
+  /// 0 = disabled.
+  std::size_t checkpoint_interval = 0;
 };
 
 /// Builds an engine. `signer` is required for kGsbs (its protocol signs

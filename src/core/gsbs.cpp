@@ -209,7 +209,20 @@ GsbsProcess::GsbsProcess(GsbsConfig config,
                                      /*fanout=*/config_.f + 1,
                                      /*max_auto_rearms=*/4, registry_},
           store_,
-          [this](NodeId to, wire::Bytes b) { ctx_->send(to, std::move(b)); })) {
+          [this](NodeId to, wire::Bytes b) { ctx_->send(to, std::move(b)); })),
+      ckpt_(
+          checkpoint::Config{
+              config_.self, config_.n, config_.f,
+              config_.checkpoint_interval,
+              /*vouch_quorum=*/0, store_, registry_,
+              // GSbS decisions are certificate-proven, so decided
+              // membership is the known-safe predicate: a snapshot of
+              // locally decided values adopts without a vouch quorum.
+              [this](const Value& v) { return decided_set_.contains(v); }},
+          [this](NodeId to, wire::Bytes b) { ctx_->send(to, std::move(b)); },
+          [this](const checkpoint::Snapshot& snap, bool quorum) {
+            on_snapshot_adopted(snap, quorum);
+          }) {
   const std::string p = "node" + std::to_string(config_.self) + "/gsbs/";
   obs_rounds_ = registry_->counter(p + "rounds");
   obs_decisions_ = registry_->counter(p + "decisions");
@@ -405,8 +418,10 @@ void GsbsProcess::recover_stall() {
   registry_->trace_event(config_.self, obs::EventKind::kEngineRetry, round_,
                          static_cast<std::uint64_t>(state_));
   // Re-offer any body pulls that exhausted their hint list while the
-  // link was lossy.
+  // link was lossy, and re-pull checkpoint roots parked on a dead
+  // provider.
   fetcher_->retry_exhausted();
+  ckpt_.retry_pending();
   switch (state_) {
     case State::kInit: {
       // Re-broadcast our signed INIT batch. batches_[round_] is frozen
@@ -535,6 +550,7 @@ void GsbsProcess::send_ack_req() {
   // collapse each repeated batch body to 33 bytes.
   wire::Encoder enc;
   enc.u8(static_cast<std::uint8_t>(MsgType::kGsbsAckReq));
+  write_root_ad(enc);
   enc.u64(ts_);
   enc.u64(round_);
   encode_proposal(enc, proposal, Codec{store_.get(), config_.digest_refs});
@@ -555,15 +571,18 @@ void GsbsProcess::broadcast_cert_and_decide(DecidedCert cert) {
 
   // As in GWTS, only set-growing decisions are recorded and notified —
   // idle rounds re-deciding the same cumulative set would otherwise cost
-  // a full set copy plus client notifications per round.
-  const bool grew = decided_set_ != decision;
-  decided_set_ = decision;
+  // a full set copy plus client notifications per round. Merge, don't
+  // replace: after a snapshot adoption the decided set may hold values
+  // the (cumulative-since-our-rounds) proposal never carried.
+  const bool grew = decided_set_.would_grow_by(decision);
+  decided_set_.merge(decision);
   if (grew) {
     decisions_.push_back({decided_set_, round, ctx_->now()});
     obs_decisions_.inc();
     registry_->trace_event(config_.self, obs::EventKind::kDecide, round,
                            decided_set_.size());
     if (on_decide_) on_decide_(decisions_.back());
+    maybe_checkpoint_and_compact(round);
   }
   round_ += 1;
   start_round();
@@ -579,18 +598,27 @@ void GsbsProcess::adopt_cert(const DecidedCert& cert) {
   // will not re-run a round they already ended).
   if (state_ == State::kStopped || cert.round != round_) return;
   const ValueSet union_set = proposal_union(cert.proposal);
-  if (!decided_set_.leq(union_set)) return;
+  // Local Stability, checkpoint-aware: every decided value must be covered
+  // by the certified union or by a committed checkpoint. A replica that
+  // adopted a snapshot may hold decided values that predate the rounds the
+  // certificate's proposals accumulate over — the quorum that certified
+  // this round also committed the checkpoint, so those values are stable
+  // without appearing in the union.
+  for (const Value& v : decided_set_) {
+    if (!union_set.contains(v) && !ckpt_.covered_any(v)) return;
+  }
   for (const ProvenBatch& pb : cert.proposal) {
     proposed_.emplace(pb.sb, pb.proof);
   }
-  const bool grew = decided_set_ != union_set;
-  decided_set_ = union_set;
+  const bool grew = decided_set_.would_grow_by(union_set);
+  decided_set_.merge(union_set);
   if (grew) {
     decisions_.push_back({decided_set_, round_, ctx_->now()});
     obs_decisions_.inc();
     registry_->trace_event(config_.self, obs::EventKind::kDecide, round_,
                            decided_set_.size());
     if (on_decide_) on_decide_(decisions_.back());
+    maybe_checkpoint_and_compact(round_);
   }
   round_ += 1;
   start_round();
@@ -648,6 +676,11 @@ void GsbsProcess::on_message(net::IContext& ctx, NodeId from,
       ctx_ = nullptr;
       return;
     }
+    if (ckpt_.handle(from, type, dec)) {
+      // Checkpoint pull / snapshot frame; adoption upcalls ran inside.
+      ctx_ = nullptr;
+      return;
+    }
   } catch (const wire::WireError&) {
     ctx_ = nullptr;
     return;  // empty frame: Byzantine; drop
@@ -672,12 +705,18 @@ void GsbsProcess::handle_frame(NodeId from, wire::BytesView frame) {
         on_safe_ack(from, dec, resolver, frame);
         break;
       case MsgType::kGsbsAckReq:
+        // Transport-only checkpoint-root advertisement (never part of
+        // any signing bytes): consumed here so the loopback replay in
+        // drain_buffers — which carries no advertisement — can enter
+        // on_ack_req directly.
+        read_root_ad(from, dec);
         on_ack_req(from, dec, resolver, frame);
         break;
       case MsgType::kGsbsAck:
         on_ack(from, dec);
         break;
       case MsgType::kGsbsNack:
+        read_root_ad(from, dec);
         on_nack(from, dec, resolver, frame);
         break;
       case MsgType::kGsbsDecided:
@@ -843,6 +882,7 @@ void GsbsProcess::on_ack_req(NodeId from, wire::Decoder& dec,
     for (const auto& [sb, proof] : accepted_) mine.push_back({sb, proof});
     wire::Encoder enc;
     enc.u8(static_cast<std::uint8_t>(MsgType::kGsbsNack));
+    write_root_ad(enc);
     enc.u64(ts);
     enc.u64(round);
     encode_proposal(enc, mine, Codec{store_.get(), config_.digest_refs});
@@ -966,6 +1006,74 @@ void GsbsProcess::on_decided(NodeId from, wire::Decoder& dec,
   certs_.emplace(round, std::move(cert));
   advance_trust();
   adopt_cert(certs_.at(round));
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointing.
+// ---------------------------------------------------------------------------
+
+void GsbsProcess::write_root_ad(wire::Encoder& enc) const {
+  // Transport-only advertisement — never part of any signed encoding. The
+  // flags byte is always present so the frame shape is config-independent.
+  if (ckpt_.enabled() && ckpt_.latest().seq > 0) {
+    enc.u8(1);
+    const crypto::Sha256::Digest& root = ckpt_.latest().root;
+    enc.raw(std::span(root.data(), root.size()));
+  } else {
+    enc.u8(0);
+  }
+}
+
+void GsbsProcess::read_root_ad(NodeId from, wire::Decoder& dec) {
+  const std::uint8_t flags = dec.u8();
+  if (flags > 1) throw wire::WireError("gsbs: bad root-ad flags");
+  if ((flags & 1) == 0) return;
+  wire::BytesView raw = dec.raw(crypto::Sha256::kDigestSize);
+  crypto::Sha256::Digest root;
+  std::copy(raw.begin(), raw.end(), root.begin());
+  if (!ckpt_.enabled()) return;
+  ckpt_.vouch(root, from);
+  if (!ckpt_.knows_root(root)) {
+    // Unknown committed state: trigger the snapshot pull. Adoption (once
+    // the vouch quorum forms) merges into decided_set_ via
+    // on_snapshot_adopted; no frame replay is needed because GSbS frames
+    // carry full (not delta) sets.
+    ckpt_.await_root(root, from, [] {});
+  }
+}
+
+void GsbsProcess::maybe_checkpoint_and_compact(std::uint64_t decided_round) {
+  if (!ckpt_.maybe_checkpoint(decided_set_)) return;
+  ckpt_round_ = decided_round;
+  // Round-indexed state below the checkpointed round can no longer be
+  // consulted: rounds strictly below ckpt_round_ ended before the decision
+  // that produced this snapshot.
+  batches_.erase(batches_.begin(), batches_.lower_bound(ckpt_round_));
+  init_seen_.erase(init_seen_.begin(), init_seen_.lower_bound(ckpt_round_));
+  candidate_seen_.erase(candidate_seen_.begin(),
+                        candidate_seen_.lower_bound(ckpt_round_));
+  // Certificates are kept for a trailing window: send_cert_if_held serves
+  // laggards catching up round-by-round; anyone further behind than the
+  // window recovers via the snapshot path instead.
+  constexpr std::uint64_t kCertKeepWindow = 8;
+  const std::uint64_t cert_floor =
+      ckpt_round_ > kCertKeepWindow ? ckpt_round_ - kCertKeepWindow : 0;
+  certs_.erase(certs_.begin(), certs_.lower_bound(cert_floor));
+}
+
+void GsbsProcess::on_snapshot_adopted(const checkpoint::Snapshot& snap,
+                                      bool quorum) {
+  if (!quorum) return;
+  ValueSet committed = ValueSet::from_sorted(
+      std::vector<Value>(snap.elements->begin(), snap.elements->end()));
+  if (!decided_set_.would_grow_by(committed)) return;
+  decided_set_.merge(committed);
+  decisions_.push_back({decided_set_, round_, ctx_ ? ctx_->now() : 0.0});
+  obs_decisions_.inc();
+  registry_->trace_event(config_.self, obs::EventKind::kDecide, round_,
+                         decided_set_.size());
+  if (on_decide_) on_decide_(decisions_.back());
+  note_progress();
 }
 
 }  // namespace bla::core

@@ -27,6 +27,7 @@
 #include <set>
 #include <vector>
 
+#include "checkpoint/checkpoint.hpp"
 #include "core/common.hpp"
 #include "core/engine.hpp"
 #include "crypto/sha256.hpp"
@@ -111,6 +112,14 @@ struct GsbsConfig {
   std::shared_ptr<obs::Registry> registry;
   /// Opt-in lossy-link recovery (see core::RecoveryConfig). Default off.
   RecoveryConfig recovery;
+  /// Checkpoint + unified GC (src/checkpoint/). For GSbS the manager
+  /// evicts checkpointed bodies (the store fallback re-serves them),
+  /// prunes round-indexed collections, and provides the snapshot
+  /// laggard catch-up; ack-req frames advertise the sender's root so
+  /// vouchers accumulate. The signed proposal/accepted maps stay full —
+  /// their encodings are signature-pinned, so the [root]+delta *frame*
+  /// compaction is GWTS-only for now (see ROADMAP). 0 = disabled.
+  std::size_t checkpoint_interval = 0;
 };
 
 class GsbsProcess : public IAgreementEngine {
@@ -155,6 +164,11 @@ public:
   }
   [[nodiscard]] const store::BodyStore& body_store() const { return *store_; }
 
+  [[nodiscard]] const checkpoint::CheckpointManager* checkpoints()
+      const override {
+    return ckpt_.enabled() ? &ckpt_ : nullptr;
+  }
+
 private:
   enum class State { kInit, kSafetying, kProposing, kStopped };
 
@@ -197,6 +211,20 @@ private:
   void drain_buffers();
   void note_progress();
   void recover_stall();
+  // -- checkpoint integration ----------------------------------------------
+  /// Called after every growing decision: commits a checkpoint when due
+  /// and prunes round-indexed state behind it (init/candidate indices,
+  /// batches, old certificates beyond the catch-up window).
+  void maybe_checkpoint_and_compact(std::uint64_t decided_round);
+  /// Adoption upcall: quorum-vouched snapshots merge into the decided
+  /// chain — the deep-laggard catch-up that replaces cert-by-cert walks
+  /// for rounds whose certificates were pruned.
+  void on_snapshot_adopted(const checkpoint::Snapshot& snap, bool quorum);
+  /// Reads an [flags u8][root 32B?] advertisement prefix, vouching for
+  /// and (if unknown) pulling any root it carries.
+  void read_root_ad(NodeId from, wire::Decoder& dec);
+  /// Emits our own advertisement prefix.
+  void write_root_ad(wire::Encoder& enc) const;
 
   // -- handlers -------------------------------------------------------------
   // Each handler fully decodes (resolving value references) before any
@@ -226,6 +254,9 @@ private:
   std::shared_ptr<store::BodyStore> store_;
   std::shared_ptr<obs::Registry> registry_;  // before fetcher_: shared down
   std::unique_ptr<store::BodyFetcher> fetcher_;
+  checkpoint::CheckpointManager ckpt_;  // after fetcher_: sends via ctx_
+  /// Round of the latest own checkpoint (the GC pruning floor).
+  std::uint64_t ckpt_round_ = 0;
   obs::Counter obs_rounds_;
   obs::Counter obs_decisions_;
   obs::Counter obs_refinements_;

@@ -1,5 +1,8 @@
 #include "core/gwts.hpp"
 
+#include <algorithm>
+#include <iterator>
+
 namespace bla::core {
 
 namespace {
@@ -15,12 +18,30 @@ GwtsProcess::GwtsProcess(GwtsConfig config, DecideFn on_decide)
                                  : std::make_shared<obs::Registry>()),
       rbc_(
           rbc::BrachaRbc::Config{config_.self, config_.n, config_.f,
-                                 config_.digest_refs, store_, registry_},
+                                 config_.digest_refs, store_, registry_,
+                                 config_.max_payload_bytes},
           [this](NodeId to, wire::Bytes bytes) {
             ctx_->send(to, std::move(bytes));
           },
           [this](NodeId origin, std::uint64_t tag, wire::Bytes payload) {
             on_rbc_deliver(origin, tag, std::move(payload));
+          }),
+      ckpt_(
+          checkpoint::Config{
+              config_.self, config_.n, config_.f,
+              config_.checkpoint_interval,
+              /*vouch_quorum=*/0, store_, registry_,
+              // A value is known-safe locally once it has a disclosure
+              // round or is already decided — snapshots made of such
+              // values adopt without a vouch quorum (pure expansion).
+              [this](const Value& v) {
+                return value_round_.contains(v) || decided_set_.contains(v);
+              }},
+          [this](NodeId to, wire::Bytes bytes) {
+            ctx_->send(to, std::move(bytes));
+          },
+          [this](const checkpoint::Snapshot& snap, bool quorum) {
+            on_snapshot_adopted(snap, quorum);
           }) {
   const std::string p = "node" + std::to_string(config_.self) + "/gwts/";
   obs_rounds_ = registry_->counter(p + "rounds");
@@ -29,6 +50,9 @@ GwtsProcess::GwtsProcess(GwtsConfig config, DecideFn on_decide)
   obs_broadcast_rejected_ =
       registry_->counter(p + "broadcast_rejected", /*warning=*/true);
   obs_retries_ = registry_->counter(p + "retries");
+  obs_compact_retries_ = registry_->counter(p + "compact_retries");
+  obs_accepted_delta_ = registry_->gauge(p + "accepted_delta");
+  obs_proposed_delta_ = registry_->gauge(p + "proposed_delta");
 }
 
 void GwtsProcess::submit(Value value) {
@@ -86,10 +110,12 @@ void GwtsProcess::recover_stall() {
   registry_->trace_event(config_.self, obs::EventKind::kEngineRetry, round_,
                          static_cast<std::uint64_t>(state_));
   // Fill tally gaps message loss tore into wedged RBC instances, give
-  // dormant body fetches another (bounded) rotation, and probe for
-  // instances we never heard of at all (partition / crash windows).
+  // dormant body fetches another (bounded) rotation, re-pull checkpoint
+  // roots still parked on a dead provider, and probe for instances we
+  // never heard of at all (partition / crash windows).
   rbc_.retry_undelivered();
   rbc_.fetcher().retry_exhausted();
+  ckpt_.retry_pending();
   probe_missed_instances();
   // Re-send the current phase frame. Both are idempotent at receivers:
   // a repeated SEND is ignored by echoed instances, and a repeated
@@ -161,6 +187,23 @@ void GwtsProcess::start_round() {
   }
   state_ = State::kDisclosing;
   obs_rounds_.inc();
+
+  // Idle-tail GC: checkpoints fire on decided growth, so a long idle
+  // tail (rounds churning with nothing new to decide) never advances the
+  // expiry floor and re-accretes one RBC instance pair per node per
+  // round forever. When every piece of engine state is already covered
+  // by our latest checkpoint — working deltas empty, decided fully
+  // committed — the rounds since ckpt_round_ disclosed only covered
+  // content, so advancing the floor to the just-completed round is
+  // exactly as safe as a fresh checkpoint there: any expired instance a
+  // laggard still wants is answered by the snapshot instead.
+  if (ckpt_.enabled() && ckpt_.latest().seq > 0 &&
+      round_ >= ckpt_round_ + 2 && proposed_set_.empty() &&
+      accepted_set_.empty() && delta_of(decided_set_).empty()) {
+    ckpt_round_ = round_ - 1;
+    compact_state(/*covered_idle=*/true);
+  }
+
   const ValueSet& batch = batches_[round_];
 
   // Inline spelling (refs=false: disclosure is first contact with the
@@ -171,17 +214,39 @@ void GwtsProcess::start_round() {
   enc.u8(static_cast<std::uint8_t>(MsgType::kDisclosure));
   store::encode_value_set_ref(enc, batch, store_.get(), /*refs=*/false);
   enc.u64(round_);
-  if (rbc_.broadcast(/*tag=*/round_, enc.view())) {
-    proposed_set_.merge(batch);
-  } else {
-    // RBC refused the disclosure (frame cap). Proposing undisclosed
-    // values would wedge us — acceptors park ack-reqs until every value
-    // is safe — so the batch is dropped *loudly*: warning counter +
-    // trace, and the client-side retransmit give-up surfaces the loss.
+  bool sent = rbc_.broadcast(/*tag=*/round_, enc.view());
+  if (!sent && ckpt_.force_checkpoint(decided_set_)) {
+    // RBC refused the disclosure (frame cap). Checkpoint-covered values
+    // are already decided and need no re-disclosure; a forced checkpoint
+    // plus stripping them often shrinks the batch back under the cap
+    // (ROADMAP 1b: compact and retry instead of counting and dropping).
+    ckpt_round_ = round_;
+    compact_state();
+    ValueSet& stored = batches_[round_];
+    stored = delta_of(stored);
+    wire::Encoder retry;
+    retry.u8(static_cast<std::uint8_t>(MsgType::kDisclosure));
+    store::encode_value_set_ref(retry, stored, store_.get(), /*refs=*/false);
+    retry.u64(round_);
+    sent = rbc_.broadcast(/*tag=*/round_, retry.view());
+    if (sent) {
+      obs_compact_retries_.inc();
+      proposed_set_.merge(stored);
+      obs_proposed_delta_.set(proposed_set_.size());
+    }
+  } else if (sent) {
+    proposed_set_.merge(delta_of(batch));
+    obs_proposed_delta_.set(proposed_set_.size());
+  }
+  if (!sent) {
+    // Still over the cap: proposing undisclosed values would wedge us —
+    // acceptors park ack-reqs until every value is safe — so the batch
+    // is dropped *loudly*: warning counter + trace, and the client-side
+    // retransmit give-up surfaces the loss.
     ++obs_broadcast_rejected_;
     registry_->trace_event(config_.self,
                            obs::EventKind::kWarnBroadcastRejected, round_,
-                           batch.size());
+                           batches_[round_].size());
   }
   // The transition below may already hold if n-f disclosures for this
   // round arrived while we were finishing the previous one.
@@ -203,13 +268,12 @@ void GwtsProcess::begin_proposing() {
 void GwtsProcess::send_ack_req() {
   registry_->trace_event(config_.self, obs::EventKind::kPropose, round_,
                          proposed_set_.size());
-  // The proposed set is cumulative across rounds; references keep the
-  // rebroadcast cost at 33 bytes per value instead of the full body
-  // (every value in it was disclosed, so acceptors hold the bodies).
+  // The proposed set is cumulative across rounds; the compact codec
+  // ships it as [checkpoint root]+delta (references keep each delta
+  // value at 33 bytes), so the frame stops growing with history.
   wire::Encoder enc;
   enc.u8(static_cast<std::uint8_t>(MsgType::kAckReq));
-  store::encode_value_set_ref(enc, proposed_set_, store_.get(),
-                              config_.digest_refs);
+  ckpt_.encode_compact_set(enc, proposed_set_, config_.digest_refs);
   enc.u64(ts_);
   enc.u64(round_);
   ctx_->broadcast(enc.take());
@@ -224,6 +288,13 @@ void GwtsProcess::on_message(net::IContext& ctx, NodeId from,
     if (rbc_.handle(from, type, dec)) {
       // RBC or body-pull frame. Deliveries, parked replays, and fetch
       // traffic all ran inside handle() with ctx_ set.
+      ctx_ = nullptr;
+      return;
+    }
+    if (ckpt_.handle(from, type, dec)) {
+      // Checkpoint pull / snapshot frame. Adoption upcalls
+      // (on_snapshot_adopted) and parked frame replays ran inside
+      // handle() with ctx_ set.
       ctx_ = nullptr;
       return;
     }
@@ -245,7 +316,7 @@ void GwtsProcess::handle_point_frame(NodeId from, wire::BytesView payload) {
       case MsgType::kAckReq:
       case MsgType::kNack: {
         store::RefResolver resolver(store_.get());
-        msg.set = resolver.value_set(dec);
+        auto compact = ckpt_.decode_compact_set(dec, resolver, from);
         msg.ts = dec.u64();
         msg.round = dec.u64();
         dec.expect_done();
@@ -263,6 +334,18 @@ void GwtsProcess::handle_point_frame(NodeId from, wire::BytesView payload) {
                                });
           return;
         }
+        if (compact.root && !compact.expanded) {
+          // [unknown root]+delta: park until the checkpoint manager has
+          // pulled and adopted the sender's snapshot, then replay the
+          // whole frame (decode will expand it against the root).
+          wire::Bytes copy(payload.begin(), payload.end());
+          ckpt_.await_root(*compact.root, from,
+                           [this, from, copy = std::move(copy)] {
+                             handle_point_frame(from, copy);
+                           });
+          return;
+        }
+        msg.set = std::move(compact.set);
         break;
       }
       default:
@@ -281,9 +364,10 @@ void GwtsProcess::on_rbc_deliver(NodeId origin, std::uint64_t tag,
                                  wire::Bytes payload) {
   try {
     if ((tag & kAckTagBase) != 0) {
+      const std::uint64_t ack_seq = tag & ~kAckTagBase;
       auto& seq = max_ack_seq_seen_[origin];
-      seq = std::max(seq, tag & ~kAckTagBase);
-      on_broadcast_ack(origin, std::move(payload));
+      seq = std::max(seq, ack_seq);
+      on_broadcast_ack(origin, ack_seq, std::move(payload));
     } else {
       max_seen_round_ = std::max(max_seen_round_, tag);
       on_disclosure(origin, /*round=*/tag, std::move(payload));
@@ -338,7 +422,10 @@ void GwtsProcess::on_disclosure(NodeId origin, std::uint64_t round,
   disclosure_counter_[round] += 1;
   note_progress();
   if (round <= round_ && state_ != State::kStopped) {
-    proposed_set_.merge(batch);
+    // Delta-space merge: a laggard re-disclosing checkpointed values
+    // must not re-inflate our proposal delta.
+    proposed_set_.merge(delta_of(batch));
+    obs_proposed_delta_.set(proposed_set_.size());
   }
 
   if (state_ == State::kDisclosing &&
@@ -357,31 +444,52 @@ bool GwtsProcess::safe_at(const ValueSet& set, std::uint64_t round) const {
 bool GwtsProcess::safe_at(const std::vector<Value>& elems,
                           std::uint64_t round) const {
   for (const Value& v : elems) {
+    // Checkpoint grant: a covered value was decided — either here (own
+    // checkpoint; it had a disclosure round ≤ its decision round) or at
+    // a correct replica (quorum-vouched adopted snapshot). Decided
+    // values are in every W_r universe, so the grant only shortcuts the
+    // lookup that compact_state pruned.
+    if (ckpt_.covered_any(v)) continue;
     auto it = value_round_.find(v);
     if (it == value_round_.end() || it->second > round) return false;
   }
   return true;
 }
 
-void GwtsProcess::on_broadcast_ack(NodeId acceptor, wire::Bytes payload) {
+void GwtsProcess::on_broadcast_ack(NodeId acceptor, std::uint64_t seq,
+                                   wire::Bytes payload) {
   wire::Decoder dec(payload);
   if (static_cast<MsgType>(dec.u8()) != MsgType::kGwtsAck) return;
   PendingAck pending;
   pending.acceptor = acceptor;
   store::RefResolver resolver(store_.get());
-  ValueSet set = resolver.value_set(dec);
+  auto compact = ckpt_.decode_compact_set(dec, resolver, acceptor);
   pending.key.round = dec.u64();
   dec.expect_done();
   max_seen_round_ = std::max(max_seen_round_, pending.key.round);
+  // The (seq → round) record is what lets compact_state translate
+  // "rounds behind the checkpoint" into a contiguous ack-tag expiry
+  // floor. Recorded before any parking: the instance *is* delivered.
+  delivered_ack_rounds_[acceptor][seq] = pending.key.round;
   if (!resolver.complete()) {
     // The acceptor holds every body its (cumulative) ack references.
     rbc_.fetcher().await(resolver.missing(), {acceptor},
-                         [this, acceptor, payload] {
-                           on_broadcast_ack(acceptor, payload);
+                         [this, acceptor, seq, payload] {
+                           on_broadcast_ack(acceptor, seq, payload);
                          });
     return;
   }
-  pending.key.set_elems = set.elements();
+  if (compact.root && !compact.expanded) {
+    // Ack over an unknown checkpoint root: park until the snapshot is
+    // pulled and adopted (the payload copy keeps the frame replayable
+    // even if the Bracha instance is expired meanwhile).
+    ckpt_.await_root(*compact.root, acceptor,
+                     [this, acceptor, seq, payload] {
+                       on_broadcast_ack(acceptor, seq, payload);
+                     });
+    return;
+  }
+  pending.key.set_elems = compact.set.elements();
 
   if (waiting_acks_.size() < kMaxWaitingMsgs) {
     waiting_acks_.push_back(std::move(pending));
@@ -435,6 +543,13 @@ void GwtsProcess::check_decide() {
       registry_->trace_event(config_.self, obs::EventKind::kDecide, round_,
                              decided_set_.size());
       if (on_decide_) on_decide_(decisions_.back());
+      // Growing decisions drive the checkpoint clock: once the decided
+      // set outgrew the interval, commit it and collapse downstream
+      // state before the next round's frames are built.
+      if (ckpt_.maybe_checkpoint(decided_set_)) {
+        ckpt_round_ = round_;
+        compact_state();
+      }
     }
     note_progress();
     round_ += 1;
@@ -522,13 +637,17 @@ void GwtsProcess::drain_waiting() {
 }
 
 void GwtsProcess::handle_ack_req(const PendingPoint& msg) {
-  // Alg. 4 lines 6-13.
-  if (accepted_set_.leq(msg.set)) {
-    accepted_set_ = msg.set;
+  // Alg. 4 lines 6-13. msg.set arrived fully expanded (decode merged the
+  // snapshot behind any known root); accepted_set_ is stored as a delta,
+  // so the inclusion test runs over its expansion. Ack keys stay over
+  // the FULL elements — is_committed digests are representation-free.
+  if (expand(accepted_set_).leq(msg.set)) {
+    accepted_set_ = delta_of(msg.set);
+    obs_accepted_delta_.set(accepted_set_.size());
     // Publish the acceptance — but only once per (set, round): a second
     // identical RBC would add no information (the first already reached
     // everyone) and would blow the §6.4 message bound.
-    AckKey key{accepted_set_.elements(), msg.round};
+    AckKey key{msg.set.elements(), msg.round};
     const bool fresh = ack_broadcasts_done_.insert(key).second;
     bool rebroadcast = fresh;
     if (!fresh && config_.recovery.enabled) {
@@ -547,18 +666,31 @@ void GwtsProcess::handle_ack_req(const PendingPoint& msg) {
     }
     if (rebroadcast) {
       // The accepted set is cumulative — the by-far biggest repeat
-      // offender in bytes (it rides an O(n²) RBC per ack). References
-      // cut it to 33 bytes per value; every receiver saw the bodies via
-      // disclosure or pulls them from us.
+      // offender in bytes (it rides an O(n²) RBC per ack). The compact
+      // codec ships [root]+delta with 33-byte references; every receiver
+      // saw the bodies via disclosure or pulls them from us.
       wire::Encoder enc;
       enc.u8(static_cast<std::uint8_t>(MsgType::kGwtsAck));
-      store::encode_value_set_ref(enc, accepted_set_, store_.get(),
-                                  config_.digest_refs);
+      ckpt_.encode_compact_set(enc, accepted_set_, config_.digest_refs);
       enc.u64(msg.round);
-      if (!rbc_.broadcast(kAckTagBase | ack_tag_counter_++, enc.view())) {
-        // RBC refused the ack frame (cumulative set outgrew the cap).
-        // Un-record the dedup key so a later, post-checkpoint ack-req can
-        // retry instead of being silently suppressed forever.
+      bool sent = rbc_.broadcast(kAckTagBase | ack_tag_counter_++, enc.view());
+      if (!sent && ckpt_.force_checkpoint(decided_set_)) {
+        // The delta outgrew the frame cap: force a checkpoint, re-delta
+        // against it, and retry once (ROADMAP 1b — compact instead of
+        // counting and dropping).
+        ckpt_round_ = round_;
+        compact_state();
+        wire::Encoder retry;
+        retry.u8(static_cast<std::uint8_t>(MsgType::kGwtsAck));
+        ckpt_.encode_compact_set(retry, accepted_set_, config_.digest_refs);
+        retry.u64(msg.round);
+        sent = rbc_.broadcast(kAckTagBase | ack_tag_counter_++, retry.view());
+        if (sent) obs_compact_retries_.inc();
+      }
+      if (!sent) {
+        // Still over the cap. Un-record the dedup key so a later,
+        // post-checkpoint ack-req can retry instead of being silently
+        // suppressed forever.
         ack_broadcasts_done_.erase(key);
         ++obs_broadcast_rejected_;
         registry_->trace_event(config_.self,
@@ -569,24 +701,162 @@ void GwtsProcess::handle_ack_req(const PendingPoint& msg) {
   } else {
     wire::Encoder enc;
     enc.u8(static_cast<std::uint8_t>(MsgType::kNack));
-    store::encode_value_set_ref(enc, accepted_set_, store_.get(),
-                                config_.digest_refs);
+    ckpt_.encode_compact_set(enc, accepted_set_, config_.digest_refs);
     enc.u64(msg.ts);
     enc.u64(msg.round);
     ctx_->send(msg.from, enc.take());
-    accepted_set_.merge(msg.set);
+    accepted_set_.merge(delta_of(msg.set));
+    obs_accepted_delta_.set(accepted_set_.size());
   }
 }
 
 void GwtsProcess::handle_nack(const PendingPoint& msg) {
-  // Alg. 3 lines 28-33.
-  if (!proposed_set_.would_grow_by(msg.set)) return;
-  proposed_set_.merge(msg.set);
+  // Alg. 3 lines 28-33, in delta space: a checkpoint-covered element is
+  // in every expansion already, so only the delta can grow the proposal
+  // (and growth-vs-delta ⟺ growth-vs-expansion for such elements).
+  const ValueSet delta = delta_of(msg.set);
+  if (!proposed_set_.would_grow_by(delta)) return;
+  proposed_set_.merge(delta);
+  obs_proposed_delta_.set(proposed_set_.size());
   note_progress();
   ts_ += 1;
   refinements_ += 1;
   obs_refinements_.inc();
   send_ack_req();
+}
+
+ValueSet GwtsProcess::expand(const ValueSet& delta) const {
+  const checkpoint::Snapshot& snap = ckpt_.latest();
+  if (snap.seq == 0) return delta;
+  ValueSet full = ValueSet::from_sorted(*snap.elements);
+  full.merge(delta);
+  return full;
+}
+
+ValueSet GwtsProcess::delta_of(const ValueSet& full) const {
+  if (ckpt_.latest().seq == 0) return full;
+  std::vector<Value> kept;
+  kept.reserve(full.size());
+  for (const Value& v : full) {
+    if (!ckpt_.covered(v)) kept.push_back(v);
+  }
+  return ValueSet::from_sorted(std::move(kept));  // filtered: still sorted
+}
+
+void GwtsProcess::compact_state(bool covered_idle) {
+  // A fresh own checkpoint covers everything the previous one did plus
+  // more (decided sets only grow), so re-deltaing the working sets is a
+  // pure filter by the new covered() — no expansion round-trip needed.
+  proposed_set_ = delta_of(proposed_set_);
+  accepted_set_ = delta_of(accepted_set_);
+  obs_proposed_delta_.set(proposed_set_.size());
+  obs_accepted_delta_.set(accepted_set_.size());
+
+  // Disclosure rounds of covered values are now answered by the safe_at
+  // checkpoint grant; dropping the entries unpins the value bodies from
+  // engine state. The version bump re-arms parked safe_at verdicts
+  // (their cached failures may flip under the new grant).
+  for (auto it = value_round_.begin(); it != value_round_.end();) {
+    if (ckpt_.covered(it->first)) {
+      it = value_round_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  ++safety_version_;
+
+  // Ack bookkeeping below the checkpoint round is settled history. A
+  // decision at ckpt_round_ required a quorum-committed proposal there,
+  // which required safe_r_ ≥ ckpt_round_ — the chaining already passed
+  // these rounds, so partial tallies for them can never matter again.
+  // committed_sets_ (is_committed answers over all time) and
+  // rounds_with_commit_ (Safe_r chaining, 8 bytes/round) stay.
+  for (auto it = ack_history_.begin(); it != ack_history_.end();) {
+    it = it->first.round < ckpt_round_ ? ack_history_.erase(it)
+                                       : std::next(it);
+  }
+  committed_by_round_.erase(committed_by_round_.begin(),
+                            committed_by_round_.lower_bound(ckpt_round_));
+  for (auto it = ack_broadcasts_done_.begin();
+       it != ack_broadcasts_done_.end();) {
+    it = it->round < ckpt_round_ ? ack_broadcasts_done_.erase(it)
+                                 : std::next(it);
+  }
+  for (auto it = reack_counts_.begin(); it != reack_counts_.end();) {
+    it = it->first.round < ckpt_round_ ? reack_counts_.erase(it)
+                                       : std::next(it);
+  }
+  batches_.erase(batches_.begin(), batches_.lower_bound(round_));
+  disclosure_counter_.erase(
+      disclosure_counter_.begin(),
+      disclosure_counter_.lower_bound(
+          ckpt_round_ >= 1 ? ckpt_round_ - 1 : 0));
+
+  // Bracha expiry — the unified-GC half that caps RBC instance state.
+  // Disclosures (tag = round): everything ≥ 2 rounds behind the
+  // checkpoint. Acks (tag = kAckTagBase | seq): per-origin contiguous
+  // seq prefix whose recorded rounds are all ≥ 2 behind; gaps stop the
+  // floor (an undelivered instance may still be wanted by probes).
+  if (ckpt_round_ >= 2) {
+    const std::uint64_t floor_round = ckpt_round_ - 1;
+    for (NodeId origin = 0; origin < static_cast<NodeId>(config_.n);
+         ++origin) {
+      rbc_.expire_below(origin, /*space=*/0, floor_round);
+    }
+  }
+  for (auto& [origin, rounds] : delivered_ack_rounds_) {
+    std::uint64_t floor = ack_expired_floor_[origin];
+    if (covered_idle) {
+      // Gap-jumping: an undelivered seq below a delivered one was
+      // broadcast at an earlier-or-equal round (seqs and rounds are both
+      // monotone per origin), so once the delivered seq's round is ≥ 2
+      // behind the checkpoint, everything under it is settled history a
+      // laggard recovers from the snapshot, not from a probe.
+      for (const auto& [seq, round] : rounds) {
+        if (round + 1 >= ckpt_round_) break;
+        floor = std::max(floor, seq + 1);
+      }
+    } else {
+      while (true) {
+        auto it = rounds.find(floor);
+        if (it == rounds.end() || it->second + 1 >= ckpt_round_) break;
+        ++floor;
+      }
+    }
+    if (floor > ack_expired_floor_[origin]) {
+      rbc_.expire_below(origin, kAckTagBase, kAckTagBase | floor);
+      rounds.erase(rounds.begin(), rounds.lower_bound(floor));
+      auto& cursor = ack_probe_cursor_[origin];
+      cursor = std::max(cursor, floor);
+      ack_expired_floor_[origin] = floor;
+    }
+  }
+}
+
+void GwtsProcess::on_snapshot_adopted(const checkpoint::Snapshot& snap,
+                                      bool quorum) {
+  // Adoption widens the safe_at grant (covered_any now passes for the
+  // snapshot's elements) — parked verdicts must re-check.
+  ++safety_version_;
+  if (quorum) {
+    // Laggard catch-up: ≥ f+1 distinct peers referenced this root, so a
+    // correct replica checkpointed it — the snapshot is that replica's
+    // decided prefix. GLA Comparability makes merging it into our own
+    // decided set stay on the common chain, without replaying the
+    // history (rounds, disclosures, acks) that produced it.
+    ValueSet snap_set = ValueSet::from_sorted(*snap.elements);
+    if (decided_set_.would_grow_by(snap_set)) {
+      decided_set_.merge(snap_set);
+      decisions_.push_back(Decision{decided_set_, round_,
+                                    ctx_ != nullptr ? ctx_->now() : 0.0});
+      obs_decisions_.inc();
+      registry_->trace_event(config_.self, obs::EventKind::kDecide, round_,
+                             decided_set_.size());
+      if (on_decide_) on_decide_(decisions_.back());
+    }
+    note_progress();
+  }
+  drain_waiting();
 }
 
 }  // namespace bla::core

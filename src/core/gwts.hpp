@@ -30,6 +30,7 @@
 #include <set>
 #include <vector>
 
+#include "checkpoint/checkpoint.hpp"
 #include "core/common.hpp"
 #include "core/engine.hpp"
 #include "net/process.hpp"
@@ -61,6 +62,15 @@ struct GwtsConfig {
   std::shared_ptr<obs::Registry> registry;
   /// Opt-in lossy-link recovery (see core::RecoveryConfig). Default off.
   RecoveryConfig recovery;
+  /// Checkpoint + unified GC: commit the decided set every this many new
+  /// elements, evict its bodies, compact accepted/proposed state to
+  /// [root]+delta frames, and expire old Bracha instances. 0 = disabled
+  /// (all pre-checkpoint behavior, except the one-byte compact-set flag
+  /// prefix on ack-req/ack/nack frames, which is always present).
+  std::size_t checkpoint_interval = 0;
+  /// Effective RBC frame cap (tests scale it down to exercise the
+  /// over-cap compact-to-checkpoint retry without 16MB frames).
+  std::size_t max_payload_bytes = rbc::kMaxPayloadBytes;
 };
 
 class GwtsProcess : public IAgreementEngine {
@@ -110,6 +120,17 @@ public:
   /// acknowledging a client's read.
   [[nodiscard]] bool is_committed(const ValueSet& set) const override {
     return committed_sets_.contains(committed_set_digest(set.elements()));
+  }
+
+  [[nodiscard]] const checkpoint::CheckpointManager* checkpoints()
+      const override {
+    return ckpt_.enabled() ? &ckpt_ : nullptr;
+  }
+  /// Delta cardinality of the acceptor state (the boundedness gauge the
+  /// checkpoint soak asserts on; the logical accepted set additionally
+  /// contains every own-checkpoint element).
+  [[nodiscard]] std::size_t accepted_delta_size() const {
+    return accepted_set_.size();
   }
 
 private:
@@ -168,7 +189,11 @@ private:
   void handle_point_frame(NodeId from, wire::BytesView payload);
   void on_rbc_deliver(NodeId origin, std::uint64_t tag, wire::Bytes payload);
   void on_disclosure(NodeId origin, std::uint64_t round, wire::Bytes payload);
-  void on_broadcast_ack(NodeId acceptor, wire::Bytes payload);
+  /// `seq` is the ack-tag counter of the delivering Bracha instance
+  /// (tag & ~kAckTagBase) — recorded in delivered_ack_rounds_ so the
+  /// checkpoint GC can expire contiguous delivered prefixes.
+  void on_broadcast_ack(NodeId acceptor, std::uint64_t seq,
+                        wire::Bytes payload);
   void record_ack(NodeId acceptor, const AckKey& key);
   void handle_ack_req(const PendingPoint& msg);
   void handle_nack(const PendingPoint& msg);
@@ -176,6 +201,25 @@ private:
   void check_decide();
   void note_progress();
   void recover_stall();
+  // -- checkpoint integration ----------------------------------------------
+  /// proposed_set_ / accepted_set_ are stored as DELTAS relative to the
+  /// own latest checkpoint (the frames ship [root]+delta, and retaining
+  /// the cumulative sets would keep every evicted body alive in engine
+  /// state). These helpers convert between the two representations.
+  [[nodiscard]] ValueSet expand(const ValueSet& delta) const;
+  [[nodiscard]] ValueSet delta_of(const ValueSet& full) const;
+  /// Collapses downstream state after a new own checkpoint: re-deltas
+  /// proposed/accepted, prunes value_round_ entries and ack bookkeeping
+  /// the checkpoint now answers for, and expires Bracha instances ≥ 2
+  /// rounds behind it. `covered_idle` marks the idle-tail call: every
+  /// piece of engine state is already checkpoint-covered, so the ack
+  /// expiry floor may jump over undelivered-seq gaps (their content is
+  /// answered by the snapshot, never by a probe).
+  void compact_state(bool covered_idle = false);
+  /// Adoption upcall from the CheckpointManager (see checkpoint.hpp for
+  /// the two-tier safety argument). Quorum-vouched snapshots merge into
+  /// the decided chain — the laggard catch-up path.
+  void on_snapshot_adopted(const checkpoint::Snapshot& snap, bool quorum);
   /// Anti-entropy discovery (recovery only): kVoteReq probes for RBC
   /// instances whose every frame fell inside a partition / crash window
   /// — invisible to retry_undelivered, but nameable because disclosure
@@ -193,19 +237,24 @@ private:
   std::shared_ptr<store::BodyStore> store_;
   std::shared_ptr<obs::Registry> registry_;
   rbc::BrachaRbc rbc_;
+  checkpoint::CheckpointManager ckpt_;  // after rbc_: sends through ctx_
   obs::Counter obs_rounds_;
   obs::Counter obs_decisions_;
   obs::Counter obs_refinements_;
   obs::Counter obs_broadcast_rejected_;  // warning: RBC refused our frame
   obs::Counter obs_retries_;             // stall-recovery passes run
+  obs::Counter obs_compact_retries_;  // over-cap frames rescued by a
+                                      // forced checkpoint + re-encode
+  obs::Gauge obs_accepted_delta_;  // acceptor delta cardinality
+  obs::Gauge obs_proposed_delta_;  // proposer delta cardinality
 
   // Proposer state (Alg. 3).
   State state_ = State::kDisclosing;
   std::uint64_t round_ = 0;
   std::uint64_t ts_ = 0;
   std::map<std::uint64_t, ValueSet> batches_;
-  ValueSet proposed_set_;
-  ValueSet decided_set_;
+  ValueSet proposed_set_;  // DELTA vs own checkpoint (see expand())
+  ValueSet decided_set_;   // always full: the engine-contract observable
   std::vector<Decision> decisions_;
   std::size_t refinements_ = 0;
   bool started_ = false;
@@ -227,7 +276,7 @@ private:
   std::set<crypto::Sha256::Digest> committed_sets_;
 
   // Acceptor state (Alg. 4).
-  ValueSet accepted_set_;
+  ValueSet accepted_set_;  // DELTA vs own checkpoint (see expand())
   std::uint64_t safe_r_ = 0;
   std::uint64_t ack_tag_counter_ = 0;
   std::set<AckKey> ack_broadcasts_done_;
@@ -248,6 +297,18 @@ private:
   std::uint64_t max_seen_round_ = 0;
   std::map<NodeId, std::uint64_t> max_ack_seq_seen_;
   std::map<NodeId, std::uint64_t> ack_probe_cursor_;
+  /// Rounds of delivered ack broadcasts, per origin and ack-tag seq —
+  /// what lets compact_state translate "rounds behind the checkpoint"
+  /// into a contiguous ack-tag floor for rbc_.expire_below. Pruned below
+  /// the floor at each checkpoint, so it holds inter-checkpoint churn.
+  std::map<NodeId, std::map<std::uint64_t, std::uint64_t>>
+      delivered_ack_rounds_;
+  /// First not-yet-expired ack seq per origin (the contiguous prefix
+  /// below it has been handed to rbc_.expire_below).
+  std::map<NodeId, std::uint64_t> ack_expired_floor_;
+  /// Round the latest own checkpoint was taken in (the Bracha expiry
+  /// reference point).
+  std::uint64_t ckpt_round_ = 0;
 
   std::deque<PendingPoint> waiting_point_;
   std::deque<PendingAck> waiting_acks_;

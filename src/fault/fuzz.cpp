@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "batch/client.hpp"
+#include "checkpoint/checkpoint.hpp"
 #include "core/adversary.hpp"
 #include "crypto/signer.hpp"
 #include "net/sim_network.hpp"
@@ -93,6 +94,10 @@ std::string FuzzSchedule::spec() const {
     }
     kv("adv", v);
   }
+  if (checkpoint_interval != 0) {
+    kv("ckpt", std::to_string(checkpoint_interval));
+  }
+  if (laggard) kv("lag", "1");
   kv("fseed", std::to_string(plan.seed));
   if (plan.default_link.drop != 0.0) {
     kv("drop", fmt_double(plan.default_link.drop));
@@ -211,6 +216,12 @@ std::optional<FuzzSchedule> FuzzSchedule::parse(std::string_view spec) {
         if (!kind) return std::nullopt;
         s.adversaries.push_back(*kind);
       }
+    } else if (key == "ckpt") {
+      if (!parse_u64(value, u)) return std::nullopt;
+      s.checkpoint_interval = u;
+    } else if (key == "lag") {
+      if (value != "0" && value != "1") return std::nullopt;
+      s.laggard = value == "1";
     } else if (key == "fseed") {
       if (!parse_u64(value, s.plan.seed)) return std::nullopt;
     } else if (key == "drop") {
@@ -290,6 +301,15 @@ FuzzSchedule generate_schedule(std::uint64_t seed, core::EngineKind engine,
   for (std::size_t i = 0; i < adv_count; ++i) {
     s.adversaries.push_back(
         kAllAdversaries[splitmix64(rng) % std::size(kAllAdversaries)]);
+  }
+
+  // Checkpointing: half the schedules run with aggressive intervals
+  // (8/16/32 decided elements) so GC and snapshot catch-up see the same
+  // fault cocktail as the base protocol; a quarter of those also bench a
+  // laggard that must recover via snapshot + batch proof.
+  if (splitmix64(rng) % 2 == 0) {
+    s.checkpoint_interval = std::size_t{8} << (splitmix64(rng) % 3);
+    s.laggard = splitmix64(rng) % 4 == 0;
   }
 
   // Fault plan. Abstract time units are simulator message delays; the
@@ -390,6 +410,7 @@ std::unique_ptr<net::IProcess> make_adversary(
       rc.engine = s.engine;
       rc.signer = signers->signer_for(id);
       rc.recovery = recovery;
+      rc.checkpoint_interval = s.checkpoint_interval;
       std::vector<net::NodeId> victims;
       for (net::NodeId v = 0; v < static_cast<net::NodeId>(s.n); ++v) {
         if (v != id && (v + noise_seed) % 2 == 0) victims.push_back(v);
@@ -405,7 +426,19 @@ BuiltSystem build_system(const FuzzSchedule& s,
                          const core::RecoveryConfig& recovery,
                          const batch::RetryPolicy& retry) {
   BuiltSystem sys;
-  sys.faulty = std::make_unique<FaultyNetwork>(s.plan);
+  FaultPlan plan = s.plan;
+  if (s.laggard) {
+    // The laggard window: replica 0 sleeps through the bulk of the run
+    // and recovers late, when peers have checkpointed past its horizon —
+    // the snapshot catch-up path is its only way back.
+    const double ts = s.net == NetKind::kThread ? kThreadTimeScale : 1.0;
+    CrashSpec lag;
+    lag.node = 0;
+    lag.crash = ts * 10.0;
+    lag.recover = ts * 220.0;
+    plan.crashes.push_back(lag);
+  }
+  sys.faulty = std::make_unique<FaultyNetwork>(plan);
 
   // Deterministic keys shared by replicas and clients (GSbS engine
   // traffic + client batch signatures).
@@ -433,6 +466,7 @@ BuiltSystem build_system(const FuzzSchedule& s,
     rc.engine = s.engine;
     rc.signer = signers->signer_for(id);
     rc.recovery = recovery;
+    rc.checkpoint_interval = s.checkpoint_interval;
     auto replica = std::make_unique<rsm::RsmReplica>(rc);
     sys.correct_replicas.push_back(replica.get());
     wrap(std::move(replica));
@@ -489,6 +523,24 @@ void check_safety(const BuiltSystem& sys, FuzzResult& result) {
       result.safety_ok = false;
       result.violation = "comparability: " + err;
       return;
+    }
+  }
+  // Checkpointed durability: compaction must never lose committed state.
+  // Every element the replica's latest accumulator snapshot covers must
+  // still be reachable through its (logical) decided set — the value a
+  // client confirmed before the checkpoint stays decided after it.
+  for (const rsm::RsmReplica* r : sys.correct_replicas) {
+    const checkpoint::CheckpointManager* ck = r->engine().checkpoints();
+    if (ck == nullptr || ck->latest().seq == 0) continue;
+    const core::ValueSet decided = r->engine().decided_set();
+    for (const core::Value& v : *ck->latest().elements) {
+      if (!decided.contains(v)) {
+        result.safety_ok = false;
+        result.violation =
+            "checkpoint durability: committed element missing from "
+            "decided set";
+        return;
+      }
     }
   }
   // Durability: with every client drained without give-ups, every
@@ -671,6 +723,19 @@ ShrinkOutcome shrink(const FuzzSchedule& failing, std::size_t max_runs) {
     if (!out.schedule.plan.crashes.empty()) {
       FuzzSchedule cand = out.schedule;
       cand.plan.crashes.clear();
+      attempt(std::move(cand));
+    }
+    // Disable the checkpoint machinery (laggard window first — it is
+    // strictly extra faults — then the interval itself).
+    if (out.schedule.laggard) {
+      FuzzSchedule cand = out.schedule;
+      cand.laggard = false;
+      attempt(std::move(cand));
+    }
+    if (out.schedule.checkpoint_interval != 0) {
+      FuzzSchedule cand = out.schedule;
+      cand.checkpoint_interval = 0;
+      cand.laggard = false;
       attempt(std::move(cand));
     }
     // Remove adversaries one slot at a time.

@@ -65,6 +65,15 @@ struct FuzzSchedule {
   std::size_t batch_size = 4;
   /// At most f entries; adversary k occupies node id n-1-k.
   std::vector<AdversaryKind> adversaries;
+  /// Checkpoint every N decided elements in every correct replica
+  /// (0 = disabled). Exercises the accumulator-committed GC paths
+  /// (src/checkpoint/) under the same fault cocktail as everything else.
+  std::size_t checkpoint_interval = 0;
+  /// Adds a crash window on replica 0 (always correct — adversaries sit
+  /// at the top ids) spanning most of the run, so it must catch up from a
+  /// peer snapshot + batch proof rather than replaying full history.
+  /// Only meaningful with checkpoint_interval > 0.
+  bool laggard = false;
   FaultPlan plan;
 
   /// One-line `key=value;` encoding. parse(spec()) == *this.

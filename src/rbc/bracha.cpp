@@ -6,8 +6,7 @@ namespace bla::rbc {
 
 namespace {
 /// Early-warning threshold for broadcast payload growth: 3/4 of the cap.
-constexpr std::size_t kNearCapBytes =
-    kMaxPayloadBytes - kMaxPayloadBytes / 4;
+constexpr std::size_t near_cap(std::size_t cap) { return cap - cap / 4; }
 }  // namespace
 
 BrachaRbc::BrachaRbc(Config config, SendFn send, DeliverFn deliver)
@@ -20,7 +19,7 @@ BrachaRbc::BrachaRbc(Config config, SendFn send, DeliverFn deliver)
                                  : std::make_shared<obs::Registry>()),
       fetcher_(
           store::BodyFetcher::Config{config_.self, config_.n,
-                                     kMaxPayloadBytes,
+                                     config_.max_payload_bytes,
                                      /*fanout=*/config_.f + 1,
                                      /*max_auto_rearms=*/4, registry_},
           store_, [this](NodeId to, wire::Bytes b) { send_(to, std::move(b)); }) {
@@ -39,9 +38,12 @@ BrachaRbc::BrachaRbc(Config config, SendFn send, DeliverFn deliver)
       registry_->counter(p + "near_cap_broadcast", /*warning=*/true);
   stats_.vote_reqs_sent = registry_->counter(p + "vote_reqs_sent");
   stats_.vote_reqs_served = registry_->counter(p + "vote_reqs_served");
-  largest_broadcast_ =
-      registry_->gauge(p + "largest_broadcast_bytes",
-                       /*warn_at=*/static_cast<double>(kNearCapBytes));
+  stats_.expired_instances = registry_->counter(p + "expired_instances");
+  stats_.expired_frames = registry_->counter(p + "expired_frames");
+  largest_broadcast_ = registry_->gauge(
+      p + "largest_broadcast_bytes",
+      /*warn_at=*/static_cast<double>(near_cap(config_.max_payload_bytes)));
+  live_instances_ = registry_->gauge(p + "live_instances");
 }
 
 BrachaRbc::Instance* BrachaRbc::instance_for(const InstanceKey& key) {
@@ -53,7 +55,54 @@ BrachaRbc::Instance* BrachaRbc::instance_for(const InstanceKey& key) {
     return nullptr;
   }
   ++count;
-  return &instances_[key];
+  Instance* inst = &instances_[key];
+  live_instances_.set(static_cast<double>(instances_.size()));
+  return inst;
+}
+
+bool BrachaRbc::expired(NodeId origin, std::uint64_t tag) const {
+  const auto it = epoch_floors_.find(origin);
+  if (it == epoch_floors_.end()) return false;
+  const auto& floors = it->second;
+  auto f = floors.upper_bound(tag);  // first space base > tag
+  if (f == floors.begin()) return false;
+  --f;  // greatest space base <= tag
+  return tag < f->second;
+}
+
+std::size_t BrachaRbc::expire_below(NodeId origin, std::uint64_t space,
+                                    std::uint64_t floor) {
+  if (floor <= space) return 0;
+  std::uint64_t& recorded = epoch_floors_[origin][space];
+  if (floor <= recorded) return 0;  // monotone
+  recorded = floor;
+  std::size_t erased = 0;
+  auto it = instances_.lower_bound(InstanceKey{origin, space});
+  const auto end = instances_.lower_bound(InstanceKey{origin, floor});
+  while (it != end) {
+    Instance& inst = it->second;
+    // Evict the retained payload body: anything this instance carried is
+    // superseded by the checkpoint the floor came from, and a laggard
+    // that still needs the content catches up from the snapshot instead.
+    if (config_.digest_frames && inst.delivered &&
+        inst.delivered_vote.size() == crypto::Sha256::kDigestSize) {
+      store::Digest d;
+      std::copy(inst.delivered_vote.begin(), inst.delivered_vote.end(),
+                d.begin());
+      store_->erase(d);
+    }
+    it = instances_.erase(it);
+    ++erased;
+  }
+  if (erased > 0) {
+    auto count = instances_per_origin_.find(origin);
+    if (count != instances_per_origin_.end()) {
+      count->second -= std::min(count->second, erased);
+    }
+    stats_.expired_instances.inc(erased);
+    live_instances_.set(static_cast<double>(instances_.size()));
+  }
+  return erased;
 }
 
 void BrachaRbc::release_instance(Instance& inst) {
@@ -99,16 +148,17 @@ void BrachaRbc::emit_to(NodeId to, MsgType type, const InstanceKey& key,
 
 bool BrachaRbc::broadcast(std::uint64_t tag, wire::BytesView payload) {
   largest_broadcast_.max_of(static_cast<double>(payload.size()));
-  if (payload.size() > kMaxPayloadBytes) {
+  if (payload.size() > config_.max_payload_bytes) {
     // Every correct receiver would reject this SEND; fail loudly at the
-    // send site instead of stalling the cluster silently.
+    // send site instead of stalling the cluster silently. The engines
+    // react by compacting to a checkpoint and retrying (ROADMAP 1b).
     ++stats_.oversized_broadcast;
     registry_->trace_event(config_.self,
                            obs::EventKind::kWarnOversizedBroadcast, tag,
                            payload.size());
     return false;
   }
-  if (payload.size() > kNearCapBytes) {
+  if (payload.size() > near_cap(config_.max_payload_bytes)) {
     ++stats_.near_cap_broadcast;
     registry_->trace_event(config_.self,
                            obs::EventKind::kWarnNearCapBroadcast, tag,
@@ -165,8 +215,12 @@ wire::Bytes BrachaRbc::decode_vote(wire::Decoder& dec) {
 void BrachaRbc::on_send(NodeId from, wire::Decoder& dec) {
   const std::uint64_t tag = dec.u64();
   wire::Bytes payload = dec.bytes();
-  if (payload.size() > kMaxPayloadBytes) {
+  if (payload.size() > config_.max_payload_bytes) {
     ++stats_.oversized_payload;
+    return;
+  }
+  if (expired(from, tag)) {
+    ++stats_.expired_frames;
     return;
   }
 
@@ -238,6 +292,7 @@ void BrachaRbc::on_vote_req(NodeId from, wire::Decoder& dec) {
 }
 
 bool BrachaRbc::has_delivered(NodeId origin, std::uint64_t tag) const {
+  if (expired(origin, tag)) return true;  // superseded by a checkpoint
   const auto it = instances_.find(InstanceKey{origin, tag});
   return it != instances_.end() && it->second.delivered;
 }
@@ -298,8 +353,12 @@ void BrachaRbc::on_echo(NodeId from, wire::Decoder& dec) {
     return;
   }
   wire::Bytes vote = decode_vote(dec);
-  if (vote.size() > kMaxPayloadBytes) {
+  if (vote.size() > config_.max_payload_bytes) {
     ++stats_.oversized_payload;
+    return;
+  }
+  if (expired(origin, tag)) {
+    ++stats_.expired_frames;
     return;
   }
 
@@ -327,8 +386,12 @@ void BrachaRbc::on_ready(NodeId from, wire::Decoder& dec) {
     return;
   }
   wire::Bytes vote = decode_vote(dec);
-  if (vote.size() > kMaxPayloadBytes) {
+  if (vote.size() > config_.max_payload_bytes) {
     ++stats_.oversized_payload;
+    return;
+  }
+  if (expired(origin, tag)) {
+    ++stats_.expired_frames;
     return;
   }
 

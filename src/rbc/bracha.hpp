@@ -83,14 +83,14 @@ enum class MsgType : std::uint8_t {
 /// Retention: a delivered instance releases its tallies immediately
 /// (Integrity makes them dead weight), so honest runs retain almost
 /// nothing per instance. The delivered entry itself — a small marker
-/// that keeps duplicates suppressed — deliberately keeps consuming its
-/// per-origin cap slot: refunding the slot would make total instance
-/// count (hence memory) unbounded over an arbitrarily long run, while
-/// keeping it hard-bounds memory at n × kMaxInstancesPerOrigin entries
-/// at the price of muting an origin after that many lifetime
-/// broadcasts. All current runs are max_rounds-bounded and sit far
-/// below the cap; lifting it for truly unbounded runs is the epoch-GC
-/// item in ROADMAP. What dominates retention is *undelivered*
+/// that keeps duplicates suppressed — keeps consuming its per-origin
+/// cap slot *until an epoch floor passes it*: expire_below (the
+/// checkpoint GC hook) erases whole tag ranges and refunds their
+/// slots, which is sound because the floor itself then suppresses
+/// duplicates for the erased range. Between checkpoints memory is
+/// hard-bounded at n × kMaxInstancesPerOrigin entries; with
+/// checkpointing enabled the bound becomes the churn between two
+/// checkpoints. What dominates retention is *undelivered*
 /// instances: with digest frames, at most one 32-byte digest tally per
 /// echoing peer per instance (full payload variants only in the legacy
 /// mode — the stored *bodies* live in the shared BodyStore, one copy
@@ -123,6 +123,11 @@ public:
     /// warnings the stall watchdog reports. Shared with the embedded
     /// fetcher. Created internally when null.
     std::shared_ptr<obs::Registry> registry;
+    /// Effective payload cap, defaulting to kMaxPayloadBytes. Tests
+    /// scale it down to exercise the over-cap broadcast rejection (and
+    /// the engines' compact-to-checkpoint retry) without materializing
+    /// ~500K-reference frames.
+    std::size_t max_payload_bytes = kMaxPayloadBytes;
   };
 
   /// Reject/drop counters, so silent-stall failure modes (e.g. frames
@@ -148,6 +153,8 @@ public:
     obs::Counter near_cap_broadcast;
     obs::Counter vote_reqs_sent;    // anti-entropy requests broadcast
     obs::Counter vote_reqs_served;  // vote re-emissions answered
+    obs::Counter expired_instances;  // instances GC'd by expire_below
+    obs::Counter expired_frames;     // frames dropped below an epoch floor
   };
 
   /// Point-to-point transmit provided by the owning process.
@@ -183,8 +190,37 @@ public:
   /// on reliable links. Returns the number of requests sent.
   std::size_t retry_undelivered(std::size_t max_requests = 16);
 
-  /// True iff instance (origin, tag) has delivered locally.
+  /// True iff instance (origin, tag) has delivered locally. Instances
+  /// below an epoch floor (expire_below) count as delivered: whatever
+  /// they carried is superseded by a checkpoint, and reporting them
+  /// undelivered would make owners probe for instances that can no
+  /// longer be materialized.
   [[nodiscard]] bool has_delivered(NodeId origin, std::uint64_t tag) const;
+
+  /// Epoch GC (checkpoint integration): expires every instance of
+  /// `origin` whose tag lies in [space, floor) — `space` is the tag
+  /// subrange base the owner allocates from (GWTS: 0 for round-tagged
+  /// disclosures, kAckTagBase for ack broadcasts), `floor` the absolute
+  /// exclusive upper tag. Expired instances release all tallies, refund
+  /// their per-origin cap slot (the floor now bounds memory in their
+  /// stead, so refunding cannot unbound it), and evict their retained
+  /// payload bodies from the store; later frames below the floor are
+  /// dropped on arrival. Floors are monotone per (origin, space).
+  /// Returns the number of instances erased.
+  std::size_t expire_below(NodeId origin, std::uint64_t space,
+                           std::uint64_t floor);
+
+  /// Live (materialized) instance count — the boundedness gauge the
+  /// checkpoint soak asserts on.
+  [[nodiscard]] std::size_t live_instances() const {
+    return instances_.size();
+  }
+
+  /// The effective broadcast/receive payload cap (config override or
+  /// kMaxPayloadBytes).
+  [[nodiscard]] std::size_t max_payload() const {
+    return config_.max_payload_bytes;
+  }
 
   /// Broadcasts one anti-entropy kVoteReq for instance (origin, tag)
   /// even when no local state for it exists. This is the *discovery*
@@ -243,6 +279,8 @@ private:
   };
 
   Instance* instance_for(const InstanceKey& key);
+  /// True when (origin, tag) sits below a recorded epoch floor.
+  [[nodiscard]] bool expired(NodeId origin, std::uint64_t tag) const;
   /// Frees a delivered instance's tallies (dead weight once Integrity
   /// forbids a second delivery). The per-origin cap slot is *not*
   /// refunded — see the retention note above kMaxPayloadBytes.
@@ -269,7 +307,11 @@ private:
   store::BodyFetcher fetcher_;
   std::map<InstanceKey, Instance> instances_;
   std::map<NodeId, std::size_t> instances_per_origin_;
+  /// Epoch floors from expire_below: origin -> (tag-space base ->
+  /// exclusive ceiling). At most a handful of spaces per origin.
+  std::map<NodeId, std::map<std::uint64_t, std::uint64_t>> epoch_floors_;
   Stats stats_;
+  obs::Gauge live_instances_;
   /// High-water mark of broadcast() payload sizes; warns at 3/4 of
   /// kMaxPayloadBytes so health() flags growth *before* the cap bites.
   obs::Gauge largest_broadcast_;

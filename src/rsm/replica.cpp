@@ -17,7 +17,8 @@ RsmReplica::RsmReplica(ReplicaConfig config)
           config_.engine,
           core::EngineConfig{config_.self, config_.n, config_.f,
                              config_.max_rounds, config_.digest_refs, store_,
-                             registry_, config_.recovery},
+                             registry_, config_.recovery,
+                             config_.checkpoint_interval},
           config_.signer,
           [this](const core::Decision& d) { on_decide(d); })) {
   // Lifecycle tracking hashes every value it marks; with a private

@@ -52,6 +52,10 @@ struct ReplicaConfig {
   /// Opt-in lossy-link recovery, forwarded into the backing engine (see
   /// core::RecoveryConfig). Default off.
   core::RecoveryConfig recovery;
+  /// Checkpoint every N decided elements (0 = disabled), forwarded into
+  /// the backing engine (see src/checkpoint/). Bounds body-store, working
+  /// sets, and RBC instance state for long-running replicas.
+  std::size_t checkpoint_interval = 0;
 };
 
 class RsmReplica : public net::IProcess {

@@ -19,12 +19,13 @@
 // first. A mutex makes it safe to share across the replica's handler
 // thread and any observer threads (the thread-network bench polls stats).
 //
-// GC: bodies are never evicted. A long-lived deployment needs the same
-// checkpointing/GC story as the engines' decided-state (see ROADMAP) —
-// once a stable prefix is snapshotted, its bodies can be dropped and the
-// store re-seeded from the snapshot on fetch misses.
+// GC: the checkpoint subsystem (src/checkpoint/) evicts bodies covered
+// by a committed checkpoint via erase() and installs a fallback with
+// set_fallback() that re-serves them from the snapshot, so the live map
+// stays bounded while every reference still resolves.
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -75,15 +76,46 @@ public:
   /// payloads) and the hot paths — resolving a cumulative ack's k
   /// references, serving fetches — only read.
   [[nodiscard]] std::shared_ptr<const wire::Bytes> get(const Digest& d) const {
-    std::lock_guard lock(mutex_);
-    auto it = bodies_.find(d);
-    if (it == bodies_.end()) return nullptr;
-    return it->second;
+    Fallback fallback;
+    {
+      std::lock_guard lock(mutex_);
+      auto it = bodies_.find(d);
+      if (it != bodies_.end()) return it->second;
+      fallback = fallback_;
+    }
+    // Consulted outside the mutex: the fallback (a checkpoint snapshot
+    // lookup) takes its own locks and must not nest under ours.
+    return fallback ? fallback(d) : nullptr;
   }
 
   [[nodiscard]] bool contains(const Digest& d) const {
+    Fallback fallback;
+    {
+      std::lock_guard lock(mutex_);
+      if (bodies_.contains(d)) return true;
+      fallback = fallback_;
+    }
+    return fallback && fallback(d) != nullptr;
+  }
+
+  /// Evicts one body (checkpoint GC). Returns true when it was present.
+  bool erase(const Digest& d) {
     std::lock_guard lock(mutex_);
-    return bodies_.contains(d);
+    auto it = bodies_.find(d);
+    if (it == bodies_.end()) return false;
+    total_bytes_ -= it->second->size();
+    bodies_.erase(it);
+    return true;
+  }
+
+  /// Miss handler consulted by get()/contains() when the live map lacks
+  /// a digest — the checkpoint snapshot re-serve hook. One per store
+  /// (last writer wins); pass nullptr to uninstall.
+  using Fallback = std::function<std::shared_ptr<const wire::Bytes>(
+      const Digest&)>;
+  void set_fallback(Fallback fallback) {
+    std::lock_guard lock(mutex_);
+    fallback_ = std::move(fallback);
   }
 
   [[nodiscard]] std::size_t body_count() const {
@@ -117,6 +149,7 @@ private:
   std::map<Digest, std::shared_ptr<const wire::Bytes>> bodies_;
   std::set<Digest> verified_;
   std::uint64_t total_bytes_ = 0;
+  Fallback fallback_;
 };
 
 }  // namespace bla::store

@@ -53,6 +53,7 @@ BatchRsmScenario::BatchRsmScenario(BatchRsmScenarioOptions options)
     rc.digest_decide_notifications = options_.digest_refs;
     rc.registry = options_.registry;
     rc.recovery = options_.recovery;
+    rc.checkpoint_interval = options_.checkpoint_interval;
     auto replica = std::make_unique<rsm::RsmReplica>(rc);
     replicas_.push_back(replica.get());
     add(std::move(replica));

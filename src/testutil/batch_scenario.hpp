@@ -48,6 +48,10 @@ struct BatchRsmScenarioOptions : ScenarioOptions {
   core::RecoveryConfig recovery;
   /// Client-level batch retransmission, forwarded to every client.
   batch::RetryPolicy retry;
+  /// Checkpoint every N decided elements in every correct replica
+  /// (0 = disabled); see src/checkpoint/. The soak test drives this to
+  /// prove the state-GC memory ceiling.
+  std::size_t checkpoint_interval = 0;
 };
 
 class BatchRsmScenario {
