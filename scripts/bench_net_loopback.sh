@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Loopback socket-transport benchmark: multi-process replicad clusters
+# at n=4 (f=1) and n=7 (f=2), each measured on clean loopback and with
+# the fault decorator injecting netem-style loss (--drop, per-link, no
+# root needed) on every replica. Writes BENCH_net_loopback.json with
+# committed cmds/sec and client-observed batch-commit p50/p99 from the
+# obs latency histogram.
+#
+# Usage: scripts/bench_net_loopback.sh [build-dir] [out.json]
+# Env:   PORT_BASE (default 9500), COMMANDS (default 4000 per client),
+#        CLIENTS (default 2), DROP (default 0.01 for the lossy leg).
+set -euo pipefail
+
+BUILD="${1:-build}"
+OUT="${2:-BENCH_net_loopback.json}"
+PORT_BASE="${PORT_BASE:-9500}"
+COMMANDS="${COMMANDS:-4000}"
+CLIENTS="${CLIENTS:-2}"
+DROP="${DROP:-0.01}"
+REPLICAD="$BUILD/bin/replicad"
+LOADGEN="$BUILD/bin/loadgen"
+[[ -x $REPLICAD && -x $LOADGEN ]] || {
+  echo "bench_net_loopback: build replicad + loadgen first" >&2
+  exit 2
+}
+
+WORK="$(mktemp -d)"
+declare -a PIDS=()
+stop_cluster() {
+  for pid in "${PIDS[@]:-}"; do kill -TERM "$pid" 2>/dev/null || true; done
+  for pid in "${PIDS[@]:-}"; do wait "$pid" 2>/dev/null || true; done
+  PIDS=()
+}
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill -9 "$pid" 2>/dev/null || true; done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+run_case() { # n f drop -> loadgen json on stdout
+  local n=$1 f=$2 drop=$3
+  local conf="$WORK/cluster_n$n.conf"
+  {
+    echo "n $n"
+    echo "f $f"
+    echo "engine gwts"
+    echo "key_scheme hmac"
+    echo "key_seed 42"
+    echo "checkpoint_interval 16"
+    for ((i = 0; i < n; ++i)); do
+      echo "replica $i 127.0.0.1:$((PORT_BASE + i))"
+    done
+  } > "$conf"
+  local fault_args=()
+  if [[ $drop != 0 ]]; then
+    fault_args=(--drop "$drop" --fault-seed 7)
+  fi
+  for ((i = 0; i < n; ++i)); do
+    "$REPLICAD" --config "$conf" --id "$i" "${fault_args[@]}" \
+      > "$WORK/replica_n${n}_$i.log" 2>&1 &
+    PIDS+=($!)
+  done
+  sleep 1
+  # Warm-up (connections, first checkpoints), then the measured run.
+  "$LOADGEN" --config "$conf" --commands 200 --clients 1 \
+    --timeout 60 > /dev/null
+  "$LOADGEN" --config "$conf" --commands "$COMMANDS" --clients "$CLIENTS" \
+    --id-base 1 --timeout 300 --json
+  stop_cluster
+}
+
+echo "benchmarking (commands=$COMMANDS x clients=$CLIENTS per case)..." >&2
+N4_CLEAN=$(run_case 4 1 0)
+N4_DROP=$(run_case 4 1 "$DROP")
+N7_CLEAN=$(run_case 7 2 0)
+N7_DROP=$(run_case 7 2 "$DROP")
+
+HOST_INFO="$(uname -sr) / $(nproc) cores"
+cat > "$OUT" <<EOF
+{
+  "bench": "net_loopback",
+  "transport": "SocketNetwork (epoll TCP, loopback)",
+  "workload": {"clients": $CLIENTS, "commands_per_client": $COMMANDS,
+               "batch": 16, "window": 4, "payload_bytes": 64},
+  "fault_leg": {"decorator": "fault::FaultyNetwork over SocketNetwork",
+                "per_link_drop": $DROP},
+  "host": "$HOST_INFO",
+  "cases": {
+    "n4_loopback": $N4_CLEAN,
+    "n4_drop": $N4_DROP,
+    "n7_loopback": $N7_CLEAN,
+    "n7_drop": $N7_DROP
+  }
+}
+EOF
+echo "wrote $OUT" >&2

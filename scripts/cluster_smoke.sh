@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Loopback cluster smoke: 4 replicad processes + loadgen, then the
+# crash drill — kill -9 one replica mid-cluster, assert the survivors
+# keep committing, restart it, and assert (a) new commands confirm and
+# (b) the rejoiner's obs dump proves checkpoint catch-up ran
+# (node<id>/checkpoint/snapshots_adopted > 0). Finally SIGTERM everyone
+# and require clean exits (status 0) — the graceful drain path.
+#
+# Usage: scripts/cluster_smoke.sh [build-dir]   (default: build)
+# Env:   PORT_BASE (default 9400) — first replica port.
+set -euo pipefail
+
+BUILD="${1:-build}"
+PORT_BASE="${PORT_BASE:-9400}"
+REPLICAD="$BUILD/bin/replicad"
+LOADGEN="$BUILD/bin/loadgen"
+[[ -x $REPLICAD && -x $LOADGEN ]] || {
+  echo "cluster_smoke: build replicad + loadgen first (looked in $BUILD/bin)" >&2
+  exit 2
+}
+
+WORK="$(mktemp -d)"
+declare -a PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do kill -9 "$pid" 2>/dev/null || true; done
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+CONF="$WORK/cluster.conf"
+{
+  echo "n 4"
+  echo "f 1"
+  echo "engine gwts"
+  echo "key_scheme hmac"
+  echo "key_seed 42"
+  echo "checkpoint_interval 8"
+  for i in 0 1 2 3; do
+    echo "replica $i 127.0.0.1:$((PORT_BASE + i))"
+  done
+} > "$CONF"
+
+start_replica() { # id
+  local id=$1
+  "$REPLICAD" --config "$CONF" --id "$id" \
+    --obs-dump "$WORK/obs$id.json" > "$WORK/replica$id.log" 2>&1 &
+  PIDS[$id]=$!
+}
+
+echo "== starting 4 replicas (ports $PORT_BASE..$((PORT_BASE + 3)))"
+for i in 0 1 2 3; do start_replica "$i"; done
+sleep 1
+
+echo "== phase 1: baseline load (2 clients x 500 commands)"
+"$LOADGEN" --config "$CONF" --commands 500 --clients 2 --timeout 60 --json
+
+echo "== phase 2: kill -9 replica 3, survivors must keep committing"
+kill -9 "${PIDS[3]}"
+wait "${PIDS[3]}" 2>/dev/null || true
+"$LOADGEN" --config "$CONF" --commands 500 --clients 2 --id-base 2 \
+  --timeout 60 --json
+
+echo "== phase 3: restart replica 3, new commands must confirm"
+start_replica 3
+"$LOADGEN" --config "$CONF" --commands 500 --clients 2 --id-base 4 \
+  --timeout 60 --json
+# Give the rejoiner a moment to finish pulling snapshots before drain.
+sleep 2
+
+echo "== graceful drain: SIGTERM all replicas, require exit 0"
+for i in 0 1 2 3; do kill -TERM "${PIDS[$i]}"; done
+for i in 0 1 2 3; do
+  if ! wait "${PIDS[$i]}"; then
+    echo "cluster_smoke: FAIL — replica $i did not exit cleanly" >&2
+    cat "$WORK/replica$i.log" >&2
+    exit 1
+  fi
+done
+PIDS=()
+
+echo "== checkpoint catch-up evidence (restarted replica 3)"
+ADOPTED=$(grep -o '"node3/checkpoint/snapshots_adopted": [0-9]*' \
+  "$WORK/obs3.json" | grep -o '[0-9]*$' || echo 0)
+echo "   node3/checkpoint/snapshots_adopted = $ADOPTED"
+if [[ $ADOPTED -lt 1 ]]; then
+  echo "cluster_smoke: FAIL — restarted replica adopted no snapshots" >&2
+  exit 1
+fi
+
+echo "cluster_smoke: PASS"

@@ -31,6 +31,10 @@ BatchClient::BatchClient(Config config,
 void BatchClient::on_start(net::IContext& ctx) {
   registry_->trace_event(config_.self, obs::EventKind::kSubmit,
                          total_commands_);
+  if (paced()) {
+    pace_allowance_ = config_.pace_commands;
+    ctx.schedule(config_.pace_interval, 1);
+  }
   pump(ctx);
   maybe_finish(ctx);
   if (config_.retry.enabled && !done()) {
@@ -39,7 +43,16 @@ void BatchClient::on_start(net::IContext& ctx) {
 }
 
 void BatchClient::on_timer(net::IContext& ctx, std::uint64_t token) {
-  (void)token;
+  if (token == 1) {
+    // Pacing tick: refill the allowance (no carry-over — a stalled
+    // pipeline must not bank a burst) and release the next slice.
+    if (done() || !paced()) return;
+    pace_allowance_ = config_.pace_commands;
+    pump(ctx);
+    maybe_finish(ctx);
+    if (!done() && !queue_.empty()) ctx.schedule(config_.pace_interval, 1);
+    return;
+  }
   // Letting the chain end at done() is what lets simulations quiesce
   // with retry enabled.
   if (!config_.retry.enabled || done()) return;
@@ -104,14 +117,27 @@ void BatchClient::pump(net::IContext& ctx) {
   while (pipeline_.can_submit()) {
     std::optional<SignedCommandBatch> sealed;
     while (!queue_.empty() && !sealed) {
+      if (paced()) {
+        if (pace_allowance_ == 0) break;  // wait for the next pace tick
+        --pace_allowance_;
+      }
       sealed = builder_.add(std::move(queue_.front()), ctx.now());
       queue_.pop_front();
     }
-    // The inner loop only leaves `sealed` empty once the queue is
-    // drained — end of stream — so push the partial batch now. (The
-    // builder's time bound never fires here: a scripted client has its
-    // whole workload upfront; flush_due() is for interactive drivers.)
-    if (!sealed) sealed = builder_.flush();
+    if (!sealed) {
+      if (queue_.empty()) {
+        // End of stream: push the partial batch unconditionally. (The
+        // builder's time bound never fires on an unpaced client — the
+        // whole workload arrives upfront.)
+        sealed = builder_.flush();
+      } else {
+        // Paced and out of allowance mid-stream: only the time bound may
+        // seal the partial, so a trickle-rate workload still makes
+        // progress in max_delay-sized batches instead of waiting for a
+        // full one.
+        sealed = builder_.flush_due(ctx.now());
+      }
+    }
     if (!sealed) return;
     submit(ctx, *sealed);
   }

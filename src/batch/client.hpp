@@ -52,6 +52,14 @@ public:
     /// Deadline-based retransmission (see batch::RetryPolicy). Default
     /// off; enable when the transport may lose frames.
     RetryPolicy retry;
+    /// Open-loop pacing: release at most `pace_commands` commands from
+    /// the workload into the builder every `pace_interval` seconds
+    /// (runtime clock). 0 disables pacing and the whole workload floods
+    /// the builder immediately, as before — maximum pressure, the right
+    /// mode for simulations. loadgen sets both to hit a target rate
+    /// against wall-clock sockets.
+    double pace_interval = 0.0;
+    std::size_t pace_commands = 0;
   };
 
   BatchClient(Config config, std::shared_ptr<const crypto::ISigner> signer,
@@ -60,8 +68,10 @@ public:
   void on_start(net::IContext& ctx) override;
   void on_message(net::IContext& ctx, NodeId from,
                   wire::BytesView payload) override;
-  /// Retry tick (armed only when config.retry.enabled): retransmits
-  /// overdue batches and stops re-arming once done().
+  /// Timer demux: token 0 is the retry tick (armed only when
+  /// config.retry.enabled) — retransmits overdue batches and stops
+  /// re-arming once done(); token 1 is the pacing tick (armed only when
+  /// pacing is configured) — refills the release allowance.
   void on_timer(net::IContext& ctx, std::uint64_t token) override;
 
   /// Every *accepted* command durably decided and the pipeline drained.
@@ -92,12 +102,16 @@ private:
   void pump(net::IContext& ctx);
   void submit(net::IContext& ctx, const SignedCommandBatch& b);
   void maybe_finish(net::IContext& ctx);
+  [[nodiscard]] bool paced() const {
+    return config_.pace_interval > 0.0 && config_.pace_commands > 0;
+  }
 
   Config config_;
   std::shared_ptr<obs::Registry> registry_;  // before pipeline_: shared down
   BatchBuilder builder_;
   BatchProposer pipeline_;
   std::deque<lattice::Value> queue_;  // commands not yet handed to builder
+  std::size_t pace_allowance_ = 0;    // commands releasable this interval
   std::size_t total_commands_ = 0;
   std::atomic<bool> done_{false};
   double finish_time_ = 0.0;

@@ -1,0 +1,245 @@
+#include "net/conn.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace bla::net {
+
+wire::Bytes encode_hello(NodeId self) {
+  wire::Encoder enc;
+  enc.u32(kHelloMagic);
+  enc.u8(kProtocolVersion);
+  enc.u32(self);
+  return enc.take();
+}
+
+std::optional<Hello> decode_hello(wire::BytesView frame) {
+  try {
+    wire::Decoder dec(frame);
+    if (dec.u32() != kHelloMagic) return std::nullopt;
+    if (dec.u8() != kProtocolVersion) return std::nullopt;
+    Hello h;
+    h.node = dec.u32();
+    dec.expect_done();
+    return h;
+  } catch (const wire::WireError&) {
+    return std::nullopt;
+  }
+}
+
+void append_frame(wire::Bytes& out, wire::BytesView payload) {
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  out.push_back(static_cast<std::uint8_t>(len));
+  out.push_back(static_cast<std::uint8_t>(len >> 8));
+  out.push_back(static_cast<std::uint8_t>(len >> 16));
+  out.push_back(static_cast<std::uint8_t>(len >> 24));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+bool FrameParser::feed(wire::BytesView data,
+                       const std::function<bool(wire::BytesView)>& sink) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+  while (buf_.size() - pos_ >= 4) {
+    const std::uint8_t* p = buf_.data() + pos_;
+    const std::uint32_t len = static_cast<std::uint32_t>(p[0]) |
+                              (static_cast<std::uint32_t>(p[1]) << 8) |
+                              (static_cast<std::uint32_t>(p[2]) << 16) |
+                              (static_cast<std::uint32_t>(p[3]) << 24);
+    // The cap check runs BEFORE the frame is buffered whole: a 4-byte
+    // prefix claiming 4GB is rejected here, with at most the bytes the
+    // peer actually transmitted ever held in memory. Zero-length frames
+    // are equally invalid — no protocol payload is empty, and accepting
+    // them would let a peer spin the loop for free.
+    if (len == 0 || len > max_frame_) return false;
+    if (buf_.size() - pos_ - 4 < len) break;  // partial frame: wait
+    if (!sink(wire::BytesView(buf_.data() + pos_ + 4, len))) return true;
+    pos_ += 4 + static_cast<std::size_t>(len);
+  }
+  // Compact once the consumed prefix dominates the buffer, so a stream
+  // of small frames stays O(bytes) instead of O(bytes^2).
+  if (pos_ > 0 && (pos_ >= buf_.size() || pos_ > 64 * 1024)) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  return true;
+}
+
+std::optional<SocketAddr> parse_addr(const std::string& s) {
+  const auto colon = s.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= s.size()) {
+    return std::nullopt;
+  }
+  SocketAddr out;
+  out.host = s.substr(0, colon);
+  unsigned long port = 0;
+  for (std::size_t i = colon + 1; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c < '0' || c > '9') return std::nullopt;
+    port = port * 10 + static_cast<unsigned long>(c - '0');
+    if (port > 65535) return std::nullopt;
+  }
+  out.port = static_cast<std::uint16_t>(port);
+  return out;
+}
+
+bool make_socket_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) return false;
+  int one = 1;
+  // Best-effort: frames are small and latency-sensitive.
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return true;
+}
+
+namespace {
+
+/// Resolves host:port to the first usable IPv4/IPv6 sockaddr.
+bool resolve(const SocketAddr& addr, sockaddr_storage* out,
+             socklen_t* out_len) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_NUMERICSERV;
+  addrinfo* res = nullptr;
+  const std::string port = std::to_string(addr.port);
+  if (::getaddrinfo(addr.host.c_str(), port.c_str(), &hints, &res) != 0 ||
+      res == nullptr) {
+    return false;
+  }
+  std::memcpy(out, res->ai_addr, res->ai_addrlen);
+  *out_len = res->ai_addrlen;
+  ::freeaddrinfo(res);
+  return true;
+}
+
+}  // namespace
+
+int listen_on(const SocketAddr& addr, int backlog) {
+  sockaddr_storage sa{};
+  socklen_t sa_len = 0;
+  if (!resolve(addr, &sa, &sa_len)) return -1;
+  const int fd = ::socket(sa.ss_family, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (!make_socket_nonblocking(fd) ||
+      ::bind(fd, reinterpret_cast<sockaddr*>(&sa), sa_len) != 0 ||
+      ::listen(fd, backlog) != 0) {
+    const int err = errno;
+    ::close(fd);
+    errno = err;
+    return -1;
+  }
+  return fd;
+}
+
+std::uint16_t local_port(int fd) {
+  sockaddr_storage sa{};
+  socklen_t len = sizeof(sa);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&sa), &len) != 0) return 0;
+  if (sa.ss_family == AF_INET) {
+    return ntohs(reinterpret_cast<const sockaddr_in*>(&sa)->sin_port);
+  }
+  if (sa.ss_family == AF_INET6) {
+    return ntohs(reinterpret_cast<const sockaddr_in6*>(&sa)->sin6_port);
+  }
+  return 0;
+}
+
+int connect_to(const SocketAddr& addr) {
+  sockaddr_storage sa{};
+  socklen_t sa_len = 0;
+  if (!resolve(addr, &sa, &sa_len)) return -1;
+  const int fd = ::socket(sa.ss_family, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (!make_socket_nonblocking(fd)) {
+    ::close(fd);
+    return -1;
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&sa), sa_len);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0 && errno != EINPROGRESS) {
+    const int err = errno;
+    ::close(fd);
+    errno = err;
+    return -1;
+  }
+  return fd;
+}
+
+int take_socket_error(int fd) {
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) return errno;
+  return err;
+}
+
+Conn::IoResult Conn::read_frames(
+    const std::function<bool(wire::BytesView)>& sink) {
+  std::uint8_t chunk[64 * 1024];
+  while (true) {
+    ssize_t n;
+    do {
+      n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    } while (n < 0 && errno == EINTR);
+    if (n == 0) return IoResult::kClosed;
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::kOk;
+      return IoResult::kError;
+    }
+    if (!parser_.feed(
+            wire::BytesView(chunk, static_cast<std::size_t>(n)), sink)) {
+      return IoResult::kProtocol;  // framing violation: drop to resync
+    }
+    // The sink may have closed this connection (e.g. a rejected
+    // handshake, or a reentrant send that hit a fatal write error).
+    if (state_ == State::kClosed) return IoResult::kClosed;
+    if (static_cast<std::size_t>(n) < sizeof(chunk)) return IoResult::kOk;
+  }
+}
+
+void Conn::enqueue(wire::BytesView payload) {
+  append_frame(wbuf_, payload);
+}
+
+Conn::IoResult Conn::flush() {
+  while (woff_ < wbuf_.size()) {
+    ssize_t n;
+    do {
+      n = ::send(fd_, wbuf_.data() + woff_, wbuf_.size() - woff_,
+                 MSG_NOSIGNAL);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::kOk;
+      return IoResult::kError;
+    }
+    woff_ += static_cast<std::size_t>(n);
+  }
+  if (woff_ > 0) {
+    wbuf_.clear();
+    woff_ = 0;
+  }
+  return IoResult::kOk;
+}
+
+void Conn::close_fd() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  state_ = State::kClosed;
+}
+
+}  // namespace bla::net

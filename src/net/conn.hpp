@@ -1,0 +1,187 @@
+#pragma once
+// Transport-boundary building blocks of the socket runtime (ROADMAP
+// item 2): address parsing, length-prefixed framing, the handshake
+// codec, and a non-blocking connection with buffered, partial-write-safe
+// I/O. SocketNetwork owns the event loop and the per-peer state machine;
+// everything here is single-connection mechanics, unit-testable without
+// an event loop (FrameParser and the hello codec need no fd at all; Conn
+// runs over a socketpair).
+//
+// Framing: every message travels as [u32 LE length][payload]. The
+// length is validated against kMaxFrameBytes BEFORE any allocation, so a
+// Byzantine or garbage-speaking peer cannot make the receiver reserve
+// gigabytes out of four bytes — the DoS guard the in-process backends
+// never needed (their "frames" are vectors handed across a function
+// call). A violating prefix poisons the stream (there is no way to find
+// the next frame boundary inside garbage), so the caller drops the
+// connection and resyncs through a fresh handshake.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "lattice/value.hpp"
+#include "net/process.hpp"
+#include "wire/wire.hpp"
+
+namespace bla::net {
+
+/// Hard cap on one transport frame. Derived from lattice::kMaxValueBytes
+/// the same way rbc::kMaxPayloadBytes is (256 maximal values), plus one
+/// more value of slack for protocol headers around an RBC payload —
+/// nothing a correct process emits can exceed it, and anything larger in
+/// a length prefix is an attack or garbage, rejected before allocation.
+inline constexpr std::size_t kMaxFrameBytes = 257 * lattice::kMaxValueBytes;
+
+/// First frame on every connection, both directions. Magic + version
+/// reject non-cluster peers (port scanners, stray HTTP) before any
+/// protocol frame is parsed; the node id is the sender's identity in the
+/// [0,n) replicas / [n,..) clients layout.
+inline constexpr std::uint32_t kHelloMagic = 0x314C4142;  // "BLA1" LE
+inline constexpr std::uint8_t kProtocolVersion = 1;
+
+struct Hello {
+  NodeId node = 0;
+};
+
+[[nodiscard]] wire::Bytes encode_hello(NodeId self);
+/// nullopt on bad magic/version/shape (caller drops the connection).
+[[nodiscard]] std::optional<Hello> decode_hello(wire::BytesView frame);
+
+/// Appends [u32 LE length][payload] to `out`.
+void append_frame(wire::Bytes& out, wire::BytesView payload);
+
+/// Incremental length-prefixed frame extractor. feed() consumes a read()
+/// chunk and invokes the sink once per complete frame; partial frames
+/// wait in an internal buffer for the next chunk (partial-read safety).
+class FrameParser {
+public:
+  explicit FrameParser(std::size_t max_frame = kMaxFrameBytes)
+      : max_frame_(max_frame) {}
+
+  /// Returns false on a violating prefix (zero or over-cap length): the
+  /// stream cannot be resynchronized and the connection must be dropped.
+  /// The sink returning false aborts parsing early (connection going
+  /// away); buffered state is then unspecified.
+  [[nodiscard]] bool feed(wire::BytesView data,
+                          const std::function<bool(wire::BytesView)>& sink);
+
+  [[nodiscard]] std::size_t buffered() const { return buf_.size() - pos_; }
+
+private:
+  std::size_t max_frame_;
+  wire::Bytes buf_;
+  std::size_t pos_ = 0;  // parse offset; compacted lazily
+};
+
+/// Address "host:port". Host may be a name or numeric; port is required.
+struct SocketAddr {
+  std::string host;
+  std::uint16_t port = 0;
+
+  [[nodiscard]] std::string str() const {
+    return host + ":" + std::to_string(port);
+  }
+};
+
+/// nullopt on malformed input (missing/invalid port, empty host).
+[[nodiscard]] std::optional<SocketAddr> parse_addr(const std::string& s);
+
+// -- fd helpers (all EINTR-safe, errno preserved on failure) ---------------
+
+/// O_NONBLOCK + TCP_NODELAY (+ SO_REUSEADDR where applicable is the
+/// caller's job). Returns false on failure.
+bool make_socket_nonblocking(int fd);
+
+/// Bound + listening non-blocking TCP socket on `addr`, or -1. With
+/// port 0 the kernel picks; read it back via local_port().
+[[nodiscard]] int listen_on(const SocketAddr& addr, int backlog = 64);
+
+/// Port the socket is actually bound to (0 on error).
+[[nodiscard]] std::uint16_t local_port(int fd);
+
+/// Starts a non-blocking connect to `addr`. Returns the fd (connect may
+/// still be in progress — wait for writability, then check
+/// take_socket_error()), or -1 on immediate failure.
+[[nodiscard]] int connect_to(const SocketAddr& addr);
+
+/// SO_ERROR fetch-and-clear; 0 means the async connect succeeded.
+[[nodiscard]] int take_socket_error(int fd);
+
+/// One buffered, framed, non-blocking connection. Owns the fd. All I/O
+/// is partial-read/partial-write/EINTR-safe and SIGPIPE-free
+/// (MSG_NOSIGNAL); callers learn "peer gone" through return codes, never
+/// through a signal.
+class Conn {
+public:
+  enum class State : std::uint8_t {
+    kConnecting,   // outbound, TCP handshake in flight
+    kHandshaking,  // TCP up, hello not yet received
+    kEstablished,
+    kClosed,
+  };
+
+  enum class IoResult : std::uint8_t {
+    kOk,        // made progress or hit EAGAIN
+    kClosed,    // orderly EOF (or the sink closed the connection)
+    kError,     // socket error
+    kProtocol,  // framing violation (zero / over-cap length prefix)
+  };
+
+  Conn(int fd, bool inbound, std::size_t max_frame = kMaxFrameBytes)
+      : fd_(fd), inbound_(inbound), parser_(max_frame),
+        state_(inbound ? State::kHandshaking : State::kConnecting) {}
+  ~Conn() { close_fd(); }
+
+  Conn(const Conn&) = delete;
+  Conn& operator=(const Conn&) = delete;
+
+  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] bool inbound() const { return inbound_; }
+  [[nodiscard]] State state() const { return state_; }
+  void set_state(State s) { state_ = s; }
+  [[nodiscard]] bool established() const {
+    return state_ == State::kEstablished;
+  }
+
+  /// Peer identity, valid once established.
+  [[nodiscard]] NodeId peer() const { return peer_; }
+  void set_peer(NodeId id) { peer_ = id; }
+
+  /// Drains the socket's receive buffer through the frame parser,
+  /// invoking the sink per complete frame. kError covers both socket
+  /// errors and framing violations (over-cap / zero-length prefix).
+  [[nodiscard]] IoResult read_frames(
+      const std::function<bool(wire::BytesView)>& sink);
+
+  /// Queues one framed payload for writing (no bound here — SocketNetwork
+  /// bounds the per-peer outbox; what is queued on the conn is already
+  /// "on the wire" from the shed policy's point of view).
+  void enqueue(wire::BytesView payload);
+
+  /// Writes as much queued data as the socket accepts.
+  [[nodiscard]] IoResult flush();
+
+  [[nodiscard]] bool wants_write() const { return !wbuf_.empty(); }
+  [[nodiscard]] std::size_t queued_bytes() const { return wbuf_.size() - woff_; }
+
+  /// Monotonic progress marks, for the deadline watchdog: seconds
+  /// timestamps stamped by the owner.
+  double opened_at = 0.0;
+  double last_write_progress = 0.0;
+
+  void close_fd();
+
+private:
+  int fd_;
+  bool inbound_;
+  FrameParser parser_;
+  State state_;
+  NodeId peer_ = 0;
+  wire::Bytes wbuf_;      // framed bytes not yet accepted by the kernel
+  std::size_t woff_ = 0;  // consumed prefix of wbuf_, compacted lazily
+};
+
+}  // namespace bla::net

@@ -1,0 +1,186 @@
+#include "testutil/socket_scenario.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "net/conn.hpp"
+#include "rsm/command.hpp"
+
+namespace bla::testutil {
+
+namespace {
+constexpr std::size_t kMaxTestClients = 8;
+}
+
+SocketCluster::SocketCluster(SocketClusterOptions options)
+    : options_(options),
+      registry_(std::make_shared<obs::Registry>()),
+      signers_(crypto::make_hmac_signer_set(options.n + kMaxTestClients,
+                                            options.seed)) {
+  if (!options_.replica_faults.empty()) {
+    faults_ = std::make_unique<fault::FaultyNetwork>(options_.replica_faults,
+                                                     registry_);
+  }
+  // Bind everything on port 0 first; only then is there an address map.
+  for (std::size_t id = 0; id < options_.n; ++id) {
+    const int fd = net::listen_on(net::SocketAddr{"127.0.0.1", 0});
+    if (fd < 0) throw std::runtime_error("SocketCluster: bind failed");
+    listen_fds_.push_back(fd);
+    ports_.push_back(net::local_port(fd));
+    peer_addrs_.push_back("127.0.0.1:" + std::to_string(ports_.back()));
+  }
+  nets_.resize(options_.n);
+}
+
+SocketCluster::~SocketCluster() {
+  stop();
+  for (std::size_t id = 0; id < listen_fds_.size(); ++id) {
+    // fds not yet handed to a network (start() never ran for this id).
+    if (!nets_[id] && listen_fds_[id] >= 0) ::close(listen_fds_[id]);
+  }
+}
+
+std::unique_ptr<net::IProcess> SocketCluster::make_replica(std::size_t id) {
+  rsm::ReplicaConfig rc;
+  rc.self = static_cast<net::NodeId>(id);
+  rc.n = options_.n;
+  rc.f = options_.f;
+  rc.engine = options_.engine;
+  rc.signer = signers_->signer_for(static_cast<net::NodeId>(id));
+  rc.digest_refs = true;
+  rc.digest_decide_notifications = true;
+  rc.registry = registry_;
+  rc.recovery.enabled = true;
+  rc.recovery.tick = options_.recovery_tick;
+  rc.recovery.stall_after = options_.recovery_stall_after;
+  rc.checkpoint_interval = options_.checkpoint_interval;
+  std::unique_ptr<net::IProcess> proc =
+      std::make_unique<rsm::RsmReplica>(rc);
+  if (faults_) proc = faults_->wrap(std::move(proc));
+  return proc;
+}
+
+void SocketCluster::start() {
+  for (std::size_t id = 0; id < options_.n; ++id) {
+    if (nets_[id]) continue;
+    net::SocketNetwork::Config nc;
+    nc.self = static_cast<net::NodeId>(id);
+    nc.cluster_n = options_.n;
+    nc.peers = peer_addrs_;
+    nc.listen_fd = listen_fds_[id];
+    nc.seed = options_.seed * 1000003ULL + id;
+    nc.reconnect_base = 0.02;
+    nc.reconnect_max = 0.5;
+    nc.registry = registry_;
+    nets_[id] = std::make_unique<net::SocketNetwork>(std::move(nc));
+    nets_[id]->host(make_replica(id));
+    nets_[id]->start();
+  }
+}
+
+void SocketCluster::stop() {
+  for (auto& net : nets_) {
+    if (net && net->running()) net->stop();
+  }
+}
+
+void SocketCluster::crash(std::size_t id) {
+  if (!nets_.at(id)) return;
+  nets_[id]->kill();
+  nets_[id].reset();  // replica state dies with the network
+  listen_fds_[id] = -1;  // old fd was owned (and closed) by the network
+}
+
+void SocketCluster::restart(std::size_t id) {
+  if (nets_.at(id)) return;
+  // Rebind the original port so the survivors' address maps stay right.
+  // The dying listener may linger a moment in the kernel; retry briefly.
+  int fd = -1;
+  for (int attempt = 0; attempt < 100 && fd < 0; ++attempt) {
+    fd = net::listen_on(net::SocketAddr{"127.0.0.1", ports_[id]});
+    if (fd < 0) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  if (fd < 0) throw std::runtime_error("SocketCluster: rebind failed");
+  listen_fds_[id] = fd;
+  net::SocketNetwork::Config nc;
+  nc.self = static_cast<net::NodeId>(id);
+  nc.cluster_n = options_.n;
+  nc.peers = peer_addrs_;
+  nc.listen_fd = fd;
+  nc.seed = options_.seed * 2000003ULL + id;  // fresh jitter stream
+  nc.reconnect_base = 0.02;
+  nc.reconnect_max = 0.5;
+  nc.registry = registry_;
+  nets_[id] = std::make_unique<net::SocketNetwork>(std::move(nc));
+  nets_[id]->host(make_replica(id));
+  nets_[id]->start();
+}
+
+SocketCluster::ClientResult SocketCluster::run_client(
+    std::size_t commands, double timeout_sec, std::size_t client_index) {
+  const auto self =
+      static_cast<net::NodeId>(options_.n + client_index);
+  std::vector<lattice::Value> workload;
+  workload.reserve(commands);
+  for (std::size_t k = 0; k < commands; ++k) {
+    rsm::Command cmd;
+    cmd.client = self;
+    cmd.seq = k;
+    cmd.payload = wire::Bytes{static_cast<std::uint8_t>(k),
+                              static_cast<std::uint8_t>(k >> 8),
+                              static_cast<std::uint8_t>(client_index)};
+    workload.push_back(rsm::encode_command(cmd));
+  }
+
+  batch::BatchClient::Config cc;
+  cc.self = self;
+  cc.n = options_.n;
+  cc.f = options_.f;
+  cc.builder.max_commands = 16;
+  cc.max_in_flight = 4;
+  cc.registry = registry_;
+  cc.retry.enabled = true;
+  cc.retry.deadline = 0.5;
+  cc.retry.backoff = 1.5;
+  cc.retry.max_attempts = 12;
+  cc.retry.tick = 0.1;
+  auto client = std::make_unique<batch::BatchClient>(
+      cc, signers_->signer_for(self), std::move(workload));
+  batch::BatchClient* raw = client.get();
+
+  net::SocketNetwork::Config nc;
+  nc.self = self;
+  nc.cluster_n = options_.n;
+  nc.peers = peer_addrs_;
+  nc.seed = options_.seed * 3000017ULL + self;
+  nc.reconnect_base = 0.02;
+  nc.reconnect_max = 0.5;
+  nc.registry = registry_;
+  net::SocketNetwork cnet(std::move(nc));
+  cnet.host(std::move(client));
+  cnet.start();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto deadline = t0 + std::chrono::duration<double>(timeout_sec);
+  while (!raw->done() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ClientResult result;
+  result.done = raw->done();
+  cnet.call([&] {
+    result.submitted = raw->commands_submitted();
+    result.dropped = raw->commands_dropped();
+    result.failed = raw->pipeline().commands_failed();
+  });
+  cnet.stop();
+  return result;
+}
+
+std::uint64_t SocketCluster::counter(const std::string& name) const {
+  return registry_->counter(name).value();
+}
+
+}  // namespace bla::testutil

@@ -1,0 +1,105 @@
+#pragma once
+// In-process socket-cluster harness: n RsmReplicas, each hosted by its
+// own SocketNetwork event loop, talking over real loopback TCP inside
+// one test binary — the socket analogue of testutil's Sim/BatchRsm
+// scenario runners. Tests get the full transport stack (framing,
+// handshakes, reconnect, backpressure) with none of the multi-process
+// plumbing; replicad/loadgen cover that layer in scripts/.
+//
+// Port discipline: the harness binds every replica's listener on port 0
+// FIRST, reads the kernel-assigned ports back, and only then builds the
+// address map the networks dial from — no guessed ports, no collisions
+// between parallel test jobs. A restarted replica rebinds its original
+// port (SO_REUSEADDR) so the survivors' address maps stay valid.
+//
+// crash(i) is kill -9 fidelity: the network is killed (no drain — peers
+// see a reset) and the replica object destroyed, losing all in-memory
+// state. restart(i) brings up a FRESH replica on the same port; catching
+// up through the checkpoint protocol is the subject under test, measured
+// through the shared registry's node<i>/checkpoint/* counters.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "batch/client.hpp"
+#include "core/engine.hpp"
+#include "crypto/signer.hpp"
+#include "fault/fault.hpp"
+#include "net/socket_network.hpp"
+#include "obs/registry.hpp"
+#include "rsm/replica.hpp"
+
+namespace bla::testutil {
+
+struct SocketClusterOptions {
+  std::size_t n = 4;
+  std::size_t f = 1;
+  core::EngineKind engine = core::EngineKind::kGwts;
+  std::uint64_t seed = 42;
+  std::size_t checkpoint_interval = 8;
+  /// Seeded link faults applied INSIDE each replica (the PR 7 decorator
+  /// wrapping the replica process before the socket runtime hosts it).
+  /// Empty = clean links.
+  fault::FaultPlan replica_faults;
+  // Wall-clock-scale timers: the in-simulation defaults (tick=8s) would
+  // turn every lost frame into a multi-second stall on sockets.
+  double recovery_tick = 0.1;
+  double recovery_stall_after = 0.3;
+};
+
+class SocketCluster {
+public:
+  explicit SocketCluster(SocketClusterOptions options);
+  ~SocketCluster();
+
+  /// Starts every replica's event loop (listeners are already bound).
+  void start();
+  /// Graceful stop of everything still running.
+  void stop();
+
+  /// kill -9 equivalent: abrupt network teardown + replica destruction.
+  void crash(std::size_t id);
+  /// Fresh replica + network on the crashed replica's original port.
+  void restart(std::size_t id);
+
+  struct ClientResult {
+    bool done = false;
+    std::uint64_t submitted = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t failed = 0;
+  };
+  /// Runs one BatchClient workload of `commands` distinct commands to
+  /// completion (or timeout), synchronously. `client_index` keeps ids of
+  /// successive/concurrent clients distinct (id = n + client_index).
+  ClientResult run_client(std::size_t commands, double timeout_sec,
+                          std::size_t client_index = 0);
+
+  [[nodiscard]] const std::shared_ptr<obs::Registry>& registry() const {
+    return registry_;
+  }
+  /// Registry counter value by full name (e.g.
+  /// "node3/checkpoint/snapshots_adopted").
+  [[nodiscard]] std::uint64_t counter(const std::string& name) const;
+  [[nodiscard]] net::SocketNetwork& replica_net(std::size_t id) {
+    return *nets_.at(id);
+  }
+  [[nodiscard]] const std::vector<std::string>& peer_addrs() const {
+    return peer_addrs_;
+  }
+
+private:
+  [[nodiscard]] std::unique_ptr<net::IProcess> make_replica(std::size_t id);
+
+  SocketClusterOptions options_;
+  std::shared_ptr<obs::Registry> registry_;
+  std::shared_ptr<crypto::ISignerSet> signers_;
+  std::unique_ptr<fault::FaultyNetwork> faults_;  // engaged when plan set
+  std::vector<std::string> peer_addrs_;
+  std::vector<std::uint16_t> ports_;
+  std::vector<int> listen_fds_;  // pre-bound, handed to networks on start
+  std::vector<std::unique_ptr<net::SocketNetwork>> nets_;
+};
+
+}  // namespace bla::testutil
