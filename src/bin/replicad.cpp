@@ -141,6 +141,10 @@ int main(int argc, char** argv) {
   nc.cluster_n = cluster->n;
   nc.peers = cluster->replicas;
   nc.listen = cluster->replicas[self];
+  // The transport accepts the same client-id range the signer set
+  // covers; a hello past the cap is rejected before it can widen the
+  // broadcast fan-out.
+  nc.max_clients = cluster->max_clients;
   nc.seed = cluster->key_seed * 1000003ULL + self;
   nc.registry = registry;
   net::SocketNetwork net(std::move(nc));

@@ -189,6 +189,7 @@ int take_socket_error(int fd) {
 Conn::IoResult Conn::read_frames(
     const std::function<bool(wire::BytesView)>& sink) {
   std::uint8_t chunk[64 * 1024];
+  std::size_t consumed = 0;
   while (true) {
     ssize_t n;
     do {
@@ -207,6 +208,10 @@ Conn::IoResult Conn::read_frames(
     // handshake, or a reentrant send that hit a fatal write error).
     if (state_ == State::kClosed) return IoResult::kClosed;
     if (static_cast<std::size_t>(n) < sizeof(chunk)) return IoResult::kOk;
+    consumed += static_cast<std::size_t>(n);
+    // Budget spent: yield so one fast-streaming peer cannot monopolize
+    // the event loop (timers, deadlines, other connections, stop flags).
+    if (consumed >= kReadBudgetBytes) return IoResult::kOk;
   }
 }
 
@@ -222,13 +227,20 @@ Conn::IoResult Conn::flush() {
                  MSG_NOSIGNAL);
     } while (n < 0 && errno == EINTR);
     if (n < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::kOk;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       return IoResult::kError;
     }
     woff_ += static_cast<std::size_t>(n);
   }
-  if (woff_ > 0) {
+  if (woff_ == wbuf_.size()) {
     wbuf_.clear();
+    woff_ = 0;
+  } else if (woff_ >= kWriteCompactBytes) {
+    // Sustained partial writes never fully drain the buffer, so waiting
+    // for empty would retain every byte ever sent. Compact the consumed
+    // prefix (mirrors FrameParser::feed) to keep wbuf_ O(queued bytes).
+    wbuf_.erase(wbuf_.begin(),
+                wbuf_.begin() + static_cast<std::ptrdiff_t>(woff_));
     woff_ = 0;
   }
   return IoResult::kOk;

@@ -35,6 +35,17 @@ namespace bla::net {
 /// a length prefix is an attack or garbage, rejected before allocation.
 inline constexpr std::size_t kMaxFrameBytes = 257 * lattice::kMaxValueBytes;
 
+/// Per-read_frames() byte budget: one call consumes at most this much
+/// from the socket before yielding back to the event loop, so a peer
+/// streaming full-speed cannot starve timers, deadlines, and the other
+/// connections (level-triggered epoll re-fires for the remainder).
+inline constexpr std::size_t kReadBudgetBytes = 128 * 1024;
+
+/// Conn::flush compacts the consumed prefix of its write buffer once it
+/// exceeds this, so sustained partial writes (slow but progressing peer)
+/// keep the buffer O(queued bytes) instead of O(bytes ever sent).
+inline constexpr std::size_t kWriteCompactBytes = 64 * 1024;
+
 /// First frame on every connection, both directions. Magic + version
 /// reject non-cluster peers (port scanners, stray HTTP) before any
 /// protocol frame is parsed; the node id is the sender's identity in the
@@ -151,8 +162,10 @@ public:
   void set_peer(NodeId id) { peer_ = id; }
 
   /// Drains the socket's receive buffer through the frame parser,
-  /// invoking the sink per complete frame. kError covers both socket
-  /// errors and framing violations (over-cap / zero-length prefix).
+  /// invoking the sink per complete frame, consuming at most
+  /// kReadBudgetBytes per call (the caller's level-triggered epoll
+  /// re-fires for anything left). kError covers both socket errors and
+  /// framing violations (over-cap / zero-length prefix).
   [[nodiscard]] IoResult read_frames(
       const std::function<bool(wire::BytesView)>& sink);
 
@@ -166,6 +179,9 @@ public:
 
   [[nodiscard]] bool wants_write() const { return !wbuf_.empty(); }
   [[nodiscard]] std::size_t queued_bytes() const { return wbuf_.size() - woff_; }
+  /// Bytes held in the write buffer INCLUDING the consumed-but-not-yet-
+  /// compacted prefix (tests: bounded under sustained partial writes).
+  [[nodiscard]] std::size_t write_buffer_bytes() const { return wbuf_.size(); }
 
   /// Monotonic progress marks, for the deadline watchdog: seconds
   /// timestamps stamped by the owner.

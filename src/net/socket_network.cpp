@@ -222,6 +222,12 @@ std::size_t SocketNetwork::established_peers() const {
   return established_count_.load(std::memory_order_relaxed);
 }
 
+std::size_t SocketNetwork::peer_table_size() {
+  std::size_t size = 0;
+  call([&] { size = peers_.size(); });
+  return size;
+}
+
 // -- loop ------------------------------------------------------------------
 
 void SocketNetwork::epoll_add(int fd, void* tag, bool want_write) {
@@ -439,7 +445,9 @@ void SocketNetwork::establish(Conn& conn, NodeId id) {
       }
     }
     if (peer.in && peer.in->state() != Conn::State::kClosed) {
-      drop_conn(peer.in.get(), "superseded");
+      // gc_peer=false: the replacement connection is installed right
+      // below, so the entry (and its queued outbox) must survive.
+      drop_conn(peer.in.get(), "superseded", /*gc_peer=*/false);
     }
     peer.in = std::move(owned);
     if (id >= max_node_) max_node_ = id + 1;
@@ -458,7 +466,7 @@ void SocketNetwork::establish(Conn& conn, NodeId id) {
   pump_outbox(id);
 }
 
-void SocketNetwork::drop_conn(Conn* conn, const char* why) {
+void SocketNetwork::drop_conn(Conn* conn, const char* why, bool gc_peer) {
   if (conn == nullptr || conn->state() == Conn::State::kClosed) return;
   (void)why;
   const bool was_outbound = !conn->inbound();
@@ -501,6 +509,18 @@ void SocketNetwork::drop_conn(Conn* conn, const char* why) {
   // The state machine's backoff edge: outbound links to cluster members
   // redial with exponential backoff + jitter.
   if (was_outbound && peer_id < config_.cluster_n) schedule_redial(peer_id);
+
+  // Client GC: a non-cluster peer's last connection is gone and there is
+  // no address to redial, so queued outbox frames can never flow — erase
+  // the entry rather than accumulate one (plus up to max_sendq_bytes)
+  // per short-lived client forever. max_node_ keeps covering the id;
+  // later sends to it take the unroutable-drop path.
+  if (gc_peer && peer_id >= config_.cluster_n) {
+    auto it = peers_.find(peer_id);
+    if (it != peers_.end() && !it->second.out && !it->second.in) {
+      peers_.erase(it);
+    }
+  }
 }
 
 void SocketNetwork::handle_conn_io(Conn* conn, std::uint32_t events) {
@@ -530,6 +550,13 @@ void SocketNetwork::handle_conn_io(Conn* conn, std::uint32_t events) {
         // An outbound connection must answer as the id we dialed —
         // anything else is a mis-wired address map or an impostor.
         if (ok && !conn->inbound() && hello->node != conn->peer()) ok = false;
+        // Cap the claimed id: node_count()/broadcast loops iterate
+        // [0, max_node_), so one unauthenticated hello claiming id
+        // ~2^32 must not turn every later broadcast into billions of
+        // sends.
+        if (ok && hello->node >= config_.cluster_n + config_.max_clients) {
+          ok = false;
+        }
         if (!ok) {
           obs_handshake_rejects_.inc();
           drop_conn(conn, "bad hello");

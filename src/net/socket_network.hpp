@@ -9,7 +9,9 @@
 // Topology and identity. The config names the cluster members' ids
 // [0, cluster_n) and their listen addresses; ids >= cluster_n are
 // clients, which dial in and announce their id in the handshake (the
-// replica layout convention of rsm::RsmReplica). Each direction of
+// replica layout convention of rsm::RsmReplica). Client ids are capped
+// at cluster_n + max_clients — the same bound the signer-set derivation
+// uses — so a hostile hello cannot widen node_count(). Each direction of
 // replica<->replica traffic rides the sender's own outbound connection;
 // replica->client traffic rides the client's inbound connection (clients
 // need no listen socket — decide notifications flow back over the TCP
@@ -88,6 +90,13 @@ public:
     std::size_t max_sendq_bytes = std::size_t{64} << 20;
     /// Transport frame cap (tests shrink it to exercise rejection).
     std::size_t max_frame_bytes = kMaxFrameBytes;
+    /// Highest client id accepted in a hello is cluster_n + max_clients
+    /// - 1; anything past the cap is rejected (net/handshake_rejects).
+    /// This bounds max_node_ — and with it every broadcast / decide
+    /// fan-out loop over [0, node_count()) — against an unauthenticated
+    /// hello claiming id ~2^32 (a remote DoS otherwise). replicad plumbs
+    /// ClusterConfig::max_clients here, matching the signer-set cap.
+    std::size_t max_clients = 64;
     /// Aggregate net/* counters land here (same names the in-process
     /// runtimes register, plus the socket-only net/ series). Optional.
     std::shared_ptr<obs::Registry> registry;
@@ -135,6 +144,10 @@ public:
   [[nodiscard]] NodeMetrics metrics() const;
   /// Established peer count (either direction), for tests/status lines.
   [[nodiscard]] std::size_t established_peers() const;
+  /// Loop-thread snapshot of the peer-table size (tests: disconnected
+  /// client entries are garbage-collected). Runs through call(), so it
+  /// must not be invoked from the loop thread itself.
+  [[nodiscard]] std::size_t peer_table_size();
 
 private:
   struct Peer {
@@ -163,7 +176,10 @@ private:
   void schedule_redial(NodeId id);
   void establish(Conn& conn, NodeId id);
   void handle_conn_io(Conn* conn, std::uint32_t events);
-  void drop_conn(Conn* conn, const char* why);
+  /// gc_peer=false suppresses the client-entry erase — used when a
+  /// superseding handshake is about to install a replacement connection
+  /// and the queued outbox should survive the swap.
+  void drop_conn(Conn* conn, const char* why, bool gc_peer = true);
   void pump_outbox(NodeId id);
   [[nodiscard]] Conn* route(NodeId id);
   void accept_pending();
@@ -196,7 +212,8 @@ private:
   std::vector<std::unique_ptr<Conn>> graveyard_;
   /// Contexts report max(cluster_n, highest handshaked client id + 1),
   /// so RsmReplica's "push decides to every client in [n, node_count)"
-  /// loop covers every client that ever connected.
+  /// loop covers every client that ever connected. Bounded by
+  /// cluster_n + max_clients — the handshake rejects ids past the cap.
   NodeId max_node_ = 0;
 
   /// Self-sends: delivered from the loop, never through TCP.

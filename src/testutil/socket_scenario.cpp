@@ -71,6 +71,7 @@ void SocketCluster::start() {
     nc.cluster_n = options_.n;
     nc.peers = peer_addrs_;
     nc.listen_fd = listen_fds_[id];
+    nc.max_clients = kMaxTestClients;  // match the signer-set sizing
     nc.seed = options_.seed * 1000003ULL + id;
     nc.reconnect_base = 0.02;
     nc.reconnect_max = 0.5;
@@ -110,6 +111,7 @@ void SocketCluster::restart(std::size_t id) {
   nc.cluster_n = options_.n;
   nc.peers = peer_addrs_;
   nc.listen_fd = fd;
+  nc.max_clients = kMaxTestClients;  // match the signer-set sizing
   nc.seed = options_.seed * 2000003ULL + id;  // fresh jitter stream
   nc.reconnect_base = 0.02;
   nc.reconnect_max = 0.5;

@@ -156,6 +156,101 @@ TEST(Hello, RoundTripsAndRejectsGarbage) {
 }
 
 // ---------------------------------------------------------------------------
+// Conn I/O bounds over a socketpair: the write buffer must stay
+// O(queued) under sustained partial writes, and one read pass must not
+// drain an arbitrarily fast stream in a single event-loop turn.
+// ---------------------------------------------------------------------------
+
+TEST(Conn, FlushCompactsConsumedPrefixUnderSustainedPartialWrites) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ASSERT_TRUE(net::make_socket_nonblocking(fds[0]));
+  ASSERT_TRUE(net::make_socket_nonblocking(fds[1]));
+  net::Conn conn(fds[0], /*inbound=*/false);
+
+  // Overfill the kernel buffer so flush always leaves a backlog: the
+  // "buffer fully drained" reset never fires.
+  const wire::Bytes frame(32 * 1024, 0xAB);
+  for (int i = 0; i < 16; ++i) conn.enqueue(frame);
+  ASSERT_EQ(conn.flush(), net::Conn::IoResult::kOk);
+  ASSERT_GT(conn.queued_bytes(), 0u);
+
+  // A slow-but-progressing peer: drain one frame's worth, enqueue one,
+  // flush. ~3MB passes through while the backlog stays put.
+  std::vector<std::uint8_t> drain(frame.size() + 4);
+  for (int cycle = 0; cycle < 100; ++cycle) {
+    ssize_t n;
+    do {
+      n = ::recv(fds[1], drain.data(), drain.size(), 0);
+    } while (n < 0 && errno == EINTR);
+    ASSERT_GT(n, 0);
+    conn.enqueue(frame);
+    ASSERT_EQ(conn.flush(), net::Conn::IoResult::kOk);
+  }
+
+  // Without compaction the buffer retains every byte ever sent (~3.5MB
+  // here) even though queued_bytes stays bounded; with it, the consumed
+  // prefix is capped by the compaction threshold.
+  EXPECT_LE(conn.write_buffer_bytes(),
+            conn.queued_bytes() + net::kWriteCompactBytes + drain.size());
+  ::close(fds[1]);
+}
+
+TEST(Conn, ReadFramesYieldsAfterPerWakeupBudget) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ASSERT_TRUE(net::make_socket_nonblocking(fds[0]));
+  net::Conn conn(fds[0], /*inbound=*/true);
+
+  // A peer streaming ~1MB as fast as the kernel accepts it.
+  constexpr std::size_t kFrameBytes = 16 * 1024;
+  constexpr int kFrames = 64;
+  std::thread writer([&] {
+    wire::Bytes stream;
+    net::append_frame(stream, wire::Bytes(kFrameBytes, 0x7E));
+    for (int i = 0; i < kFrames; ++i) {
+      std::size_t off = 0;
+      while (off < stream.size()) {
+        const ssize_t n = ::send(fds[1], stream.data() + off,
+                                 stream.size() - off, MSG_NOSIGNAL);
+        if (n > 0) {
+          off += static_cast<std::size_t>(n);
+        } else if (n < 0 && errno != EINTR) {
+          return;
+        }
+      }
+    }
+  });
+  // Let the writer pack the kernel buffer so the first call has well
+  // over one budget immediately available.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  std::size_t call_bytes = 0;
+  int frames = 0;
+  const auto sink = [&](wire::BytesView f) {
+    call_bytes += f.size();
+    ++frames;
+    return true;
+  };
+  // One pass consumes at most the budget (+ one read chunk) even though
+  // far more is pending — the loop turn ends instead of chasing the
+  // stream until EAGAIN.
+  ASSERT_EQ(conn.read_frames(sink), net::Conn::IoResult::kOk);
+  EXPECT_LE(call_bytes, net::kReadBudgetBytes + 64 * 1024);
+
+  // Level-triggered epoll would re-fire; subsequent passes drain it all.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(10);
+  while (frames < kFrames && std::chrono::steady_clock::now() < deadline) {
+    ASSERT_EQ(conn.read_frames(sink), net::Conn::IoResult::kOk);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(frames, kFrames);
+  writer.join();
+  ::close(fds[1]);
+}
+
+// ---------------------------------------------------------------------------
 // Cluster config parsing (replicad/loadgen's shared input).
 // ---------------------------------------------------------------------------
 
@@ -409,6 +504,71 @@ TEST(SocketNetwork, GarbageHandshakeRejected) {
   EXPECT_TRUE(eventually(5.0, [&] {
     return reg->counter("net/handshake_rejects").value() == 1;
   }));
+  n0.stop();
+}
+
+TEST(SocketNetwork, HelloAboveClientCapRejected) {
+  const ListenSlot l0 = bind_loopback();
+  auto reg = std::make_shared<obs::Registry>();
+  net::SocketNetwork n0({.self = 0,
+                         .cluster_n = 1,
+                         .peers = {"127.0.0.1:" + std::to_string(l0.port)},
+                         .listen_fd = l0.fd,
+                         .max_clients = 4,
+                         .registry = reg});
+  n0.host(std::make_unique<EchoProcess>());
+  n0.start();
+
+  // node_count()/broadcast loops iterate [0, max_node_): accepting a
+  // hello claiming id ~2^32 would turn every later broadcast into ~4
+  // billion sends on the loop thread. It must be rejected instead.
+  RawClient attacker(l0.port);
+  ASSERT_TRUE(attacker.connected());
+  attacker.send_bytes(frame_of(net::encode_hello(0xFFFFFFFE)));
+  EXPECT_TRUE(attacker.closed_within(5.0));
+  EXPECT_TRUE(eventually(5.0, [&] {
+    return reg->counter("net/handshake_rejects").value() == 1;
+  }));
+
+  // The first id past the cap (cluster_n + max_clients = 5) is out...
+  RawClient past_cap(l0.port);
+  ASSERT_TRUE(past_cap.connected());
+  past_cap.send_bytes(frame_of(net::encode_hello(5)));
+  EXPECT_TRUE(past_cap.closed_within(5.0));
+  EXPECT_TRUE(eventually(5.0, [&] {
+    return reg->counter("net/handshake_rejects").value() == 2;
+  }));
+
+  // ...while the last in-cap client id establishes normally.
+  RawClient in_cap(l0.port);
+  ASSERT_TRUE(in_cap.connected());
+  in_cap.send_bytes(frame_of(net::encode_hello(4)));
+  EXPECT_TRUE(eventually(5.0, [&] { return n0.established_peers() == 1; }));
+  n0.stop();
+}
+
+TEST(SocketNetwork, DisconnectedClientEntryIsGarbageCollected) {
+  const ListenSlot l0 = bind_loopback();
+  net::SocketNetwork n0({.self = 0,
+                         .cluster_n = 1,
+                         .peers = {"127.0.0.1:" + std::to_string(l0.port)},
+                         .listen_fd = l0.fd});
+  n0.host(std::make_unique<EchoProcess>());
+  n0.start();
+  EXPECT_EQ(n0.peer_table_size(), 0u);  // single-node cluster: no peers
+
+  {
+    RawClient client(l0.port);
+    ASSERT_TRUE(client.connected());
+    client.send_bytes(frame_of(net::encode_hello(3)));
+    ASSERT_TRUE(eventually(5.0, [&] { return n0.established_peers() == 1; }));
+    EXPECT_EQ(n0.peer_table_size(), 1u);
+  }  // client hangs up
+
+  // The entry — and any outbox frames queued behind it — is erased, so a
+  // replica serving many short-lived clients does not accumulate memory.
+  EXPECT_TRUE(eventually(5.0, [&] { return n0.peer_table_size() == 0; }));
+  EXPECT_EQ(n0.established_peers(), 0u);
   n0.stop();
 }
 
